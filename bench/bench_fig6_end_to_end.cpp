@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig. 6 / artifact experiment 03+04 — the end-to-end flow on DIV.
+ *
+ * The artifact runs RTL2MμPATH on a DIV under a restricted execution
+ * assumption and finds sixty-six cycle-accurate μPATHs (one per divider
+ * latency), then SynthLC labels DIV an intrinsic and dynamic transmitter
+ * and finds DIV is a transponder for BEQ and LW/SW dynamic transmitters.
+ *
+ * MiniCVA's serial divider skips the dividend's leading zeros, so its
+ * latency range is 1..8 (the 1..66 analog); the same flow reproduces the
+ * same classification.
+ */
+
+#include <set>
+
+#include "bench/bench_util.hh"
+#include "designs/mcva.hh"
+#include "designs/mcva_isa.hh"
+
+using namespace rmp;
+using namespace rmp::bench;
+using namespace rmp::designs;
+
+int
+main()
+{
+    banner("Fig. 6 — end-to-end RTL2MμPATH + SynthLC flow on DIV");
+    Harness hx(buildMcva());
+    const auto &info = hx.duv();
+
+    r2m::SynthesisConfig scfg = benchSynthConfig();
+    scfg.revisitCounts = true;
+    scfg.maxRevisitCount = 10;
+    r2m::MuPathSynthesizer synth(hx, scfg);
+
+    uhb::InstrId div = info.instrId("DIV");
+    uhb::InstrPaths paths = synth.synthesize(div);
+    std::printf("%s\n", report::renderInstrPaths(hx, paths).c_str());
+    std::printf("%s\n", report::renderDecisions(hx, paths).c_str());
+
+    std::set<unsigned> counts;
+    for (const auto &p : paths.paths)
+        for (const auto &[pl, cs] : p.revisitCounts)
+            if (hx.plName(pl) == "divU")
+                for (unsigned c : cs)
+                    counts.insert(c);
+    std::string got = "{";
+    for (unsigned c : counts)
+        got += (got.size() > 1 ? "," : "") + std::to_string(c);
+    got += "}";
+    paperNote("the artifact uncovers 66 cycle-accurate DIV μPATHs (the "
+              "serial divider takes 1..66 cycles)",
+              "achievable divU occupancies " + got +
+                  " — one cycle-accurate μPATH per latency (scaled "
+                  "divider: 1..8)");
+
+    slc::SynthLcConfig lcfg = benchLcConfig();
+    slc::SynthLc slc(hx, lcfg);
+    std::vector<uhb::InstrId> subset;
+    for (const auto &n : mcvaArtifactSubset())
+        subset.push_back(info.instrId(n));
+    auto sigs = slc.analyze(div, paths.decisions, subset);
+    std::printf("\nDIV leakage signatures over the artifact subset "
+                "(ADD, DIV, LW, SW, BEQ):\n");
+    bool intr = false, dyn = false, beq_txm = false, ldst_txm = false;
+    for (const auto &s : sigs) {
+        std::printf("  %s\n", slc.render(s).c_str());
+        for (const auto &ti : s.inputs) {
+            const std::string &n = info.instrs[ti.instr].name;
+            if (n == "DIV") {
+                intr |= ti.type == slc::TxType::Intrinsic;
+                dyn |= ti.type == slc::TxType::DynamicOlder ||
+                       ti.type == slc::TxType::DynamicYounger;
+            }
+            if (n == "BEQ")
+                beq_txm = true;
+            if (n == "LW" || n == "SW")
+                ldst_txm = true;
+        }
+    }
+    paperNote("SynthLC labels DIV an intrinsic and dynamic transmitter, "
+              "and a transponder for BEQ and LW/SW dynamic transmitters",
+              std::string("DIV intrinsic: ") + (intr ? "yes" : "no") +
+                  ", DIV dynamic: " + (dyn ? "yes" : "no") +
+                  ", BEQ input: " + (beq_txm ? "yes" : "no") +
+                  ", LW/SW input: " + (ldst_txm ? "yes" : "no"));
+    std::printf("\n%s\n",
+                report::renderStepStats(synth.stepStats(), &slc.stats())
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * §VII-B3 — property-evaluation statistics: per-step property counts,
+ * outcome breakdown, undetermined fraction, and the core-vs-cache
+ * (whole-vs-modular) per-property cost comparison.
+ *
+ * The paper reports 124,459 RTL2MμPATH properties at 4.43 min/property
+ * (16.39% undetermined) and 30,774 SynthLC properties at 2.35 min each
+ * (13.74% undetermined) for the core, versus 4,178 properties at 3
+ * *seconds* each for the cache. Absolute numbers are testbed-specific;
+ * the shape we reproduce is (i) per-step property accounting, (ii) a
+ * nonzero undetermined fraction under a finite budget, treated as
+ * unreachable (§VII-B4), and (iii) the order-of-magnitude modularity win
+ * of the cache DUV.
+ */
+
+#include "bench/bench_util.hh"
+#include "designs/dcache.hh"
+#include "designs/mcva.hh"
+
+using namespace rmp;
+using namespace rmp::bench;
+using namespace rmp::designs;
+
+namespace
+{
+
+struct RunCost
+{
+    uint64_t props = 0;
+    double seconds = 0;
+    uint64_t undet = 0;
+};
+
+RunCost
+runOne(Harness &hx, const char *transponder, sat::SatBudget budget)
+{
+    r2m::SynthesisConfig scfg;
+    scfg.budget = budget;
+    r2m::MuPathSynthesizer synth(hx, scfg);
+    slc::SynthLcConfig lcfg;
+    lcfg.budget = budget;
+    slc::SynthLc slc(hx, lcfg);
+    uhb::InstrId id = hx.duv().instrId(transponder);
+    auto paths = synth.synthesize(id);
+    slc.analyze(id, paths.decisions, {id});
+    std::printf("%s\n",
+                report::renderStepStats(synth.stepStats(), &slc.stats())
+                    .c_str());
+    RunCost c;
+    for (const auto &s : synth.stepStats()) {
+        c.props += s.queries;
+        c.seconds += s.seconds;
+        c.undet += s.undetermined;
+    }
+    c.props += slc.stats().queries;
+    c.seconds += slc.stats().seconds;
+    c.undet += slc.stats().undetermined;
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("§VII-B3 — property-evaluation performance");
+    sat::SatBudget tight;
+    tight.maxConflicts = fullMode() ? 200'000 : 8'000;
+
+    std::printf("\n-- Core DUV (MiniCVA), transponder LW\n");
+    Harness core(buildMcva());
+    RunCost c = runOne(core, "LW", tight);
+
+    std::printf("\n-- Cache DUV (modular), transponder LDREQ\n");
+    Harness cache(buildDcache());
+    RunCost k = runOne(cache, "LDREQ", tight);
+
+    double core_avg = c.props ? c.seconds / c.props : 0;
+    double cache_avg = k.props ? k.seconds / k.props : 0;
+    std::printf("\ncore:  %llu properties, %.3f s avg, %llu undetermined\n",
+                (unsigned long long)c.props, core_avg,
+                (unsigned long long)c.undet);
+    std::printf("cache: %llu properties, %.3f s avg, %llu undetermined\n",
+                (unsigned long long)k.props, cache_avg,
+                (unsigned long long)k.undet);
+    paperNote("core: 4.43 min/property (16.39% undetermined); cache: ALL "
+              "properties complete within 3 seconds — 'highlighting the "
+              "benefits of modularization'",
+              "cache properties are " +
+                  std::to_string(cache_avg > 0 ? core_avg / cache_avg : 0) +
+                  "x cheaper than core properties on average "
+                  "(same order-of-magnitude modularity win)");
+    return 0;
+}

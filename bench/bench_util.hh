@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared helpers for the table/figure-regeneration benches.
+ *
+ * Each bench binary regenerates one of the paper's tables or figures
+ * (DESIGN.md §3) and prints the measured result next to the paper's
+ * reported shape. Benches default to laptop-scale budgets; set
+ * RMP_BENCH_FULL=1 to lift scopes/budgets for longer, more complete runs.
+ */
+
+#ifndef BENCH_BENCH_UTIL_HH
+#define BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "contracts/contracts.hh"
+#include "designs/harness.hh"
+#include "report/report.hh"
+#include "rtl2mupath/synth.hh"
+#include "synthlc/synthlc.hh"
+
+namespace rmp::bench
+{
+
+/** True when RMP_BENCH_FULL=1 requests complete (slow) runs. */
+inline bool
+fullMode()
+{
+    const char *v = std::getenv("RMP_BENCH_FULL");
+    return v && v[0] == '1';
+}
+
+/** Default per-query SAT budget for bench runs. */
+inline sat::SatBudget
+benchBudget()
+{
+    sat::SatBudget b;
+    b.maxConflicts = fullMode() ? 2'000'000 : 6'000;
+    return b;
+}
+
+/** RTL2MμPATH bench profile: semi-formal by default (README §Soundness). */
+inline r2m::SynthesisConfig
+benchSynthConfig()
+{
+    r2m::SynthesisConfig c;
+    c.budget = benchBudget();
+    c.closureChecks = fullMode();
+    c.explore.runs = fullMode() ? 2000 : 800;
+    return c;
+}
+
+/** SynthLC bench profile: simulation-first, tightly budgeted closure. */
+inline slc::SynthLcConfig
+benchLcConfig()
+{
+    slc::SynthLcConfig c;
+    c.budget.maxConflicts = fullMode() ? 200'000 : 500;
+    c.simRuns = fullMode() ? 300 : 110;
+    return c;
+}
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============\n%s\n"
+                "=================================================="
+                "============\n",
+                title.c_str());
+}
+
+/** Paper-vs-measured note line (collected into EXPERIMENTS.md). */
+inline void
+paperNote(const std::string &paper, const std::string &measured)
+{
+    std::printf("  paper:    %s\n  measured: %s\n", paper.c_str(),
+                measured.c_str());
+}
+
+/** Run RTL2MμPATH + SynthLC for a set of instructions on one harness. */
+inline ct::AnalysisDb
+analyzeInstructions(const designs::Harness &hx,
+                    r2m::MuPathSynthesizer &synth, slc::SynthLc &slc,
+                    const std::vector<std::string> &transponders,
+                    const std::vector<std::string> &transmitters)
+{
+    ct::AnalysisDb db;
+    db.hx = &hx;
+    std::vector<uhb::InstrId> txm;
+    for (const auto &t : transmitters)
+        txm.push_back(hx.duv().instrId(t));
+    for (const auto &p : transponders) {
+        uhb::InstrId id = hx.duv().instrId(p);
+        std::printf("  analyzing %s ...\n", p.c_str());
+        std::fflush(stdout);
+        uhb::InstrPaths paths = synth.synthesize(id);
+        auto sigs = slc.analyze(id, paths.decisions, txm);
+        for (auto &s : sigs)
+            db.signatures.push_back(std::move(s));
+        db.paths[id] = std::move(paths);
+    }
+    return db;
+}
+
+} // namespace rmp::bench
+
+#endif // BENCH_BENCH_UTIL_HH

@@ -1,0 +1,237 @@
+#include "bmc/engine.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+
+namespace rmp::bmc
+{
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Reachable: return "reachable";
+      case Outcome::Unreachable: return "unreachable";
+      case Outcome::Undetermined: return "undetermined";
+    }
+    return "?";
+}
+
+Engine::Engine(const Design &design, const EngineConfig &config)
+    : d(design), cfg(config), unrolling(design)
+{
+    rmp_assert(cfg.bound >= 1, "bound must be positive");
+    unrolling.ensureFrames(cfg.bound - 1);
+}
+
+sat::Lit
+Engine::satLit(AigLit lit)
+{
+    // Iteratively Tseitin-encode the cone under `lit`.
+    uint32_t root = aigNode(lit);
+    if (nodeVar.size() < unrolling.aig().numNodes())
+        nodeVar.resize(unrolling.aig().numNodes(), -1);
+    std::vector<uint32_t> stack{root};
+    while (!stack.empty()) {
+        uint32_t n = stack.back();
+        if (nodeVar[n] >= 0) {
+            stack.pop_back();
+            continue;
+        }
+        if (n == 0) {
+            // Constant-false node: a var pinned to false.
+            sat::Var v = solver.newVar();
+            solver.addClause(~sat::mkLit(v));
+            nodeVar[0] = v;
+            stack.pop_back();
+            continue;
+        }
+        const Aig &g = unrolling.aig();
+        if (g.isInput(n)) {
+            nodeVar[n] = solver.newVar();
+            stack.pop_back();
+            continue;
+        }
+        uint32_t n0 = aigNode(g.fanin0(n));
+        uint32_t n1 = aigNode(g.fanin1(n));
+        bool ready = true;
+        if (nodeVar[n0] < 0) {
+            stack.push_back(n0);
+            ready = false;
+        }
+        if (nodeVar[n1] < 0) {
+            stack.push_back(n1);
+            ready = false;
+        }
+        if (!ready)
+            continue;
+        sat::Var v = solver.newVar();
+        sat::Lit lv = sat::mkLit(v);
+        sat::Lit la(nodeVar[n0], aigSign(g.fanin0(n)));
+        sat::Lit lb(nodeVar[n1], aigSign(g.fanin1(n)));
+        // v <-> la & lb
+        solver.addClause(~lv, la);
+        solver.addClause(~lv, lb);
+        solver.addClause(lv, ~la, ~lb);
+        nodeVar[n] = v;
+        stack.pop_back();
+    }
+    return sat::Lit(nodeVar[root], aigSign(lit));
+}
+
+CoverResult
+Engine::cover(const prop::ExprRef &seq,
+              const std::vector<prop::ExprRef> &assumes)
+{
+    return run(seq, assumes, -1);
+}
+
+CoverResult
+Engine::coverAt(const prop::ExprRef &seq,
+                const std::vector<prop::ExprRef> &assumes, unsigned frame)
+{
+    return run(seq, assumes, static_cast<int>(frame));
+}
+
+Engine::ProveOutcome
+Engine::prove(const prop::ExprRef &invariant,
+              const std::vector<prop::ExprRef> &assumes, Witness *cex)
+{
+    CoverResult r = cover(prop::pNot(invariant), assumes);
+    switch (r.outcome) {
+      case Outcome::Unreachable:
+        return ProveOutcome::Proven;
+      case Outcome::Reachable:
+        if (cex)
+            *cex = std::move(r.witness);
+        return ProveOutcome::Falsified;
+      case Outcome::Undetermined:
+        return ProveOutcome::Undetermined;
+    }
+    return ProveOutcome::Undetermined;
+}
+
+CoverResult
+Engine::run(const prop::ExprRef &seq,
+            const std::vector<prop::ExprRef> &assumes, int fixed_frame)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    Aig &g = unrolling.aig();
+
+    // Cover literal: OR over permitted start frames.
+    std::vector<AigLit> starts;
+    if (fixed_frame >= 0) {
+        starts.push_back(
+            prop::compile(seq, unrolling, fixed_frame, cfg.bound));
+    } else {
+        for (unsigned t = 0; t < cfg.bound; t++)
+            starts.push_back(prop::compile(seq, unrolling, t, cfg.bound));
+    }
+    AigLit cover_lit = g.mkOrN(starts);
+
+    // Assumption literals: each assume holds at every frame.
+    std::vector<sat::Lit> assumptions;
+    for (const auto &a : assumes) {
+        unsigned last = cfg.bound > a->depth() ? cfg.bound - a->depth() : 1;
+        for (unsigned t = 0; t < last; t++) {
+            AigLit l = prop::compile(a, unrolling, t, cfg.bound);
+            if (l == kTrue)
+                continue;
+            if (l == kFalse) {
+                // Vacuous: assumes are contradictory within the bound.
+                CoverResult res;
+                res.outcome = Outcome::Unreachable;
+                stats_.queries++;
+                stats_.unreachable++;
+                return res;
+            }
+            assumptions.push_back(satLit(l));
+        }
+    }
+
+    CoverResult res;
+    if (cover_lit == kFalse) {
+        res.outcome = Outcome::Unreachable;
+    } else {
+        // The cover literal goes FIRST: deciding it immediately focuses
+        // the search on executions that could match, which speeds both
+        // witness discovery and unreachability proofs considerably.
+        assumptions.insert(assumptions.begin(), satLit(cover_lit));
+        sat::SatResult sres = solver.solve(assumptions, cfg.budget);
+        switch (sres) {
+          case sat::SatResult::Sat:
+            res.outcome = Outcome::Reachable;
+            res.witness = extractWitness(seq, assumes);
+            break;
+          case sat::SatResult::Unsat:
+            res.outcome = Outcome::Unreachable;
+            break;
+          case sat::SatResult::Undetermined:
+            res.outcome = Outcome::Undetermined;
+            break;
+        }
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+    res.seconds = std::chrono::duration<double>(t1 - t0).count();
+    stats_.queries++;
+    stats_.totalSeconds += res.seconds;
+    switch (res.outcome) {
+      case Outcome::Reachable: stats_.reachable++; break;
+      case Outcome::Unreachable: stats_.unreachable++; break;
+      case Outcome::Undetermined: stats_.undetermined++; break;
+    }
+    return res;
+}
+
+Witness
+Engine::extractWitness(const prop::ExprRef &seq,
+                       const std::vector<prop::ExprRef> &assumes)
+{
+    Witness w;
+    w.inputs.resize(cfg.bound);
+    for (unsigned t = 0; t < cfg.bound; t++) {
+        for (SigId in : d.inputs()) {
+            uint64_t val = 0;
+            unsigned width = d.cell(in).width;
+            for (unsigned bit = 0; bit < width; bit++) {
+                AigLit l = unrolling.inputLit(t, in, bit);
+                uint32_t n = aigNode(l);
+                bool v = false;
+                if (n < nodeVar.size() && nodeVar[n] >= 0)
+                    v = solver.modelValue(nodeVar[n]) != aigSign(l);
+                if (v)
+                    val |= 1ULL << bit;
+            }
+            w.inputs[t][in] = val;
+        }
+    }
+    if (cfg.validateWitnesses) {
+        // Independent soundness cross-check: replay on the simulator and
+        // confirm the sequence matches and all assumes hold.
+        Simulator sim(d);
+        for (unsigned t = 0; t < cfg.bound; t++)
+            sim.step(w.inputs[t]);
+        const SimTrace &tr = sim.trace();
+        bool matched = false;
+        for (unsigned t = 0; t < cfg.bound && !matched; t++) {
+            if (prop::evalOnTrace(seq, tr, t)) {
+                matched = true;
+                w.matchFrame = t;
+            }
+        }
+        rmp_assert(matched, "witness replay: cover did not match");
+        for (const auto &a : assumes) {
+            unsigned last =
+                cfg.bound > a->depth() ? cfg.bound - a->depth() : 1;
+            for (unsigned t = 0; t < last; t++)
+                rmp_assert(prop::evalOnTrace(a, tr, t),
+                           "witness replay: assume violated at cycle %u", t);
+        }
+        w.trace = tr;
+    }
+    return w;
+}
+
+} // namespace rmp::bmc

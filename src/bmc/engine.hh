@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The bounded model-checking engine: the reproduction's stand-in for the
+ * paper's JasperGold runs.
+ *
+ * Evaluates cover properties subject to always-assumes over a shared
+ * incremental unrolling: one CNF per (design, bound) reused across the
+ * thousands of template-instantiated queries RTL2MμPATH and SynthLC issue,
+ * with per-query SAT assumptions. Outcomes follow the paper exactly:
+ *
+ *  - Reachable: a witness trace exists (extracted, and independently
+ *    re-validated on the rtlir simulator before being reported);
+ *  - Unreachable: UNSAT across all start frames up to the design's
+ *    completeness bound — sound because each DUV provably drains an
+ *    instruction within that bound (DESIGN.md §5);
+ *  - Undetermined: the per-query SAT budget was exhausted (the paper's
+ *    timeout verdict, §VII-B3/B4).
+ */
+
+#ifndef BMC_ENGINE_HH
+#define BMC_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "bmc/unroll.hh"
+#include "prop/property.hh"
+#include "sat/solver.hh"
+#include "sim/simulator.hh"
+
+namespace rmp::bmc
+{
+
+/** The paper's three verifier verdicts. */
+enum class Outcome : uint8_t { Reachable, Unreachable, Undetermined };
+
+const char *outcomeName(Outcome o);
+
+/** A concrete witness for a Reachable cover. */
+struct Witness
+{
+    /** Input valuations per cycle, replayable on the simulator. */
+    std::vector<InputMap> inputs;
+    /** Start frame at which the covered sequence matched. */
+    unsigned matchFrame = 0;
+    /** The replayed trace (all signals, all cycles). */
+    SimTrace trace;
+};
+
+/** Result of one cover query. */
+struct CoverResult
+{
+    Outcome outcome = Outcome::Undetermined;
+    Witness witness; ///< valid iff outcome == Reachable
+    double seconds = 0.0;
+
+    bool reachable() const { return outcome == Outcome::Reachable; }
+    bool unreachable() const { return outcome == Outcome::Unreachable; }
+};
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    /** Unrolling depth == the design's completeness bound. */
+    unsigned bound = 16;
+    /** Per-query SAT budget; exhaustion yields Undetermined. */
+    sat::SatBudget budget{};
+    /** Replay every witness on the simulator (soundness cross-check). */
+    bool validateWitnesses = true;
+};
+
+/** Aggregate query statistics (reported by bench_perf_properties). */
+struct EngineStats
+{
+    uint64_t queries = 0;
+    uint64_t reachable = 0;
+    uint64_t unreachable = 0;
+    uint64_t undetermined = 0;
+    double totalSeconds = 0.0;
+};
+
+/**
+ * Incremental cover/assume evaluator over one design.
+ *
+ * All queries share the unrolled CNF and the solver's learned clauses;
+ * per-query constraints enter as SAT assumptions only.
+ */
+class Engine
+{
+  public:
+    Engine(const Design &design, const EngineConfig &config);
+
+    /**
+     * Evaluate `cover (seq)` under `assume (a)` for every a in @p assumes
+     * holding at all cycles. The sequence may match starting at any frame
+     * in [0, bound).
+     */
+    CoverResult cover(const prop::ExprRef &seq,
+                      const std::vector<prop::ExprRef> &assumes);
+
+    /** Like cover(), but the sequence must match starting at @p frame. */
+    CoverResult coverAt(const prop::ExprRef &seq,
+                        const std::vector<prop::ExprRef> &assumes,
+                        unsigned frame);
+
+    /** Verdicts of prove(). */
+    enum class ProveOutcome : uint8_t { Proven, Falsified, Undetermined };
+
+    /**
+     * Bounded safety proof: "@p invariant holds at every cycle" (under
+     * the assumes). A cover of the negation decides it: Unreachable ->
+     * Proven (up to the bound), Reachable -> Falsified with the
+     * counterexample in @p cex (if non-null).
+     */
+    ProveOutcome prove(const prop::ExprRef &invariant,
+                       const std::vector<prop::ExprRef> &assumes,
+                       Witness *cex = nullptr);
+
+    const EngineStats &stats() const { return stats_; }
+    const Design &design() const { return d; }
+    unsigned bound() const { return cfg.bound; }
+
+  private:
+    CoverResult run(const prop::ExprRef &seq,
+                    const std::vector<prop::ExprRef> &assumes,
+                    int fixed_frame);
+
+    /** Tseitin-encode @p lit's cone; returns the SAT literal. */
+    sat::Lit satLit(AigLit lit);
+
+    Witness extractWitness(const prop::ExprRef &seq,
+                           const std::vector<prop::ExprRef> &assumes);
+
+    const Design &d;
+    EngineConfig cfg;
+    Unrolling unrolling;
+    sat::Solver solver;
+    /** AIG node -> SAT var (-1 = not yet encoded). */
+    std::vector<int32_t> nodeVar;
+    EngineStats stats_;
+};
+
+} // namespace rmp::bmc
+
+#endif // BMC_ENGINE_HH

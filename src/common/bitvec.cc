@@ -1,0 +1,17 @@
+#include "common/bitvec.hh"
+
+#include <cstdio>
+
+namespace rmp
+{
+
+std::string
+BitVec::str() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%u'h%llx", _width,
+                  static_cast<unsigned long long>(_value));
+    return buf;
+}
+
+} // namespace rmp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fixed-width two-state bit vector used throughout the netlist IR,
+ * simulator, and bit-blaster.
+ *
+ * Widths are limited to 64 bits: every signal in our scaled designs fits,
+ * and a single machine word keeps the simulator and the taint shadow logic
+ * cheap. Values are always kept masked to their declared width so that
+ * equality and hashing are well defined.
+ */
+
+#ifndef COMMON_BITVEC_HH
+#define COMMON_BITVEC_HH
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rmp
+{
+
+/** A value of a fixed bit width (1..64), always masked to that width. */
+class BitVec
+{
+  public:
+    /** Default: 1-bit zero. */
+    BitVec() : _width(1), _value(0) {}
+
+    /** Construct a @p width bit value holding @p value (masked). */
+    BitVec(unsigned width, uint64_t value)
+        : _width(width), _value(value & maskOf(width))
+    {
+        assert(width >= 1 && width <= 64);
+    }
+
+    /** Width in bits. */
+    unsigned width() const { return _width; }
+
+    /** Raw value, guaranteed masked to width(). */
+    uint64_t value() const { return _value; }
+
+    /** Bit @p i (0 = LSB). */
+    bool bit(unsigned i) const { return i < _width && ((_value >> i) & 1); }
+
+    /** All-ones mask for @p width bits. */
+    static uint64_t
+    maskOf(unsigned width)
+    {
+        return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    }
+
+    /** Mask for this vector's width. */
+    uint64_t mask() const { return maskOf(_width); }
+
+    /** Value sign-extended to 64 bits (two's complement). */
+    int64_t
+    toSigned() const
+    {
+        if (_width == 64)
+            return static_cast<int64_t>(_value);
+        uint64_t sign = 1ULL << (_width - 1);
+        return static_cast<int64_t>((_value ^ sign)) -
+               static_cast<int64_t>(sign);
+    }
+
+    bool
+    operator==(const BitVec &o) const
+    {
+        return _width == o._width && _value == o._value;
+    }
+    bool operator!=(const BitVec &o) const { return !(*this == o); }
+
+    /** Render as width'hHEX, e.g. 4'h9. */
+    std::string str() const;
+
+  private:
+    unsigned _width;
+    uint64_t _value;
+};
+
+} // namespace rmp
+
+namespace std
+{
+template <>
+struct hash<rmp::BitVec>
+{
+    size_t
+    operator()(const rmp::BitVec &v) const
+    {
+        return std::hash<uint64_t>()(v.value() * 0x9e3779b97f4a7c15ULL +
+                                     v.width());
+    }
+};
+} // namespace std
+
+#endif // COMMON_BITVEC_HH

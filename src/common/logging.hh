@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal logging / fatal-error helpers in the spirit of gem5's
+ * base/logging.hh. panic() marks internal invariant violations; fatal()
+ * marks user/configuration errors.
+ */
+
+#ifndef COMMON_LOGGING_HH
+#define COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rmp
+{
+
+/** Abort with a message: an internal bug, never a user error. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Exit(1) with a message: a user/configuration error. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a warning to stderr and continue. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace rmp
+
+#define rmp_panic(...) ::rmp::panicImpl(__FILE__, __LINE__, \
+                                        ::rmp::strfmt(__VA_ARGS__))
+#define rmp_fatal(...) ::rmp::fatalImpl(__FILE__, __LINE__, \
+                                        ::rmp::strfmt(__VA_ARGS__))
+#define rmp_assert(cond, ...)                                          \
+    do {                                                               \
+        if (!(cond))                                                   \
+            ::rmp::panicImpl(__FILE__, __LINE__,                       \
+                             std::string("assertion failed: " #cond    \
+                                         " — ") +                      \
+                                 ::rmp::strfmt(__VA_ARGS__));          \
+    } while (0)
+
+#endif // COMMON_LOGGING_HH

@@ -1,0 +1,88 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rmp
+{
+
+void
+AsciiTable::setHeader(std::vector<std::string> cols)
+{
+    header = std::move(cols);
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cols)
+{
+    rmp_assert(header.empty() || cols.size() == header.size(),
+               "row has %zu columns, header has %zu", cols.size(),
+               header.size());
+    rows.push_back(std::move(cols));
+}
+
+void
+AsciiTable::addSeparator()
+{
+    rows.emplace_back();
+}
+
+size_t
+AsciiTable::numRows() const
+{
+    size_t n = 0;
+    for (const auto &r : rows)
+        if (!r.empty())
+            n++;
+    return n;
+}
+
+std::string
+AsciiTable::str() const
+{
+    size_t ncols = header.size();
+    for (const auto &r : rows)
+        ncols = std::max(ncols, r.size());
+    std::vector<size_t> w(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); i++)
+            w[i] = std::max(w[i], r[i].size());
+    };
+    widen(header);
+    for (const auto &r : rows)
+        widen(r);
+
+    std::ostringstream os;
+    auto sep = [&]() {
+        os << '+';
+        for (size_t i = 0; i < ncols; i++)
+            os << std::string(w[i] + 2, '-') << '+';
+        os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string> &r) {
+        os << '|';
+        for (size_t i = 0; i < ncols; i++) {
+            std::string cell = i < r.size() ? r[i] : "";
+            os << ' ' << cell << std::string(w[i] - cell.size(), ' ')
+               << " |";
+        }
+        os << '\n';
+    };
+    sep();
+    if (!header.empty()) {
+        emit(header);
+        sep();
+    }
+    for (const auto &r : rows) {
+        if (r.empty())
+            sep();
+        else
+            emit(r);
+    }
+    sep();
+    return os.str();
+}
+
+} // namespace rmp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Simple ASCII table renderer used by the report module and the benches to
+ * print paper-style tables and figure summaries.
+ */
+
+#ifndef COMMON_TABLE_HH
+#define COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace rmp
+{
+
+/** Row-oriented ASCII table with a header and left-aligned columns. */
+class AsciiTable
+{
+  public:
+    /** Set the header row. Column count is fixed by this call. */
+    void setHeader(std::vector<std::string> cols);
+
+    /** Append a data row; must match the header column count. */
+    void addRow(std::vector<std::string> cols);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table. */
+    std::string str() const;
+
+    /** Number of data rows (separators excluded). */
+    size_t numRows() const;
+
+  private:
+    std::vector<std::string> header;
+    // Empty vector encodes a separator.
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace rmp
+
+#endif // COMMON_TABLE_HH

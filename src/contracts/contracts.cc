@@ -1,0 +1,302 @@
+#include "contracts/contracts.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace rmp::ct
+{
+
+using namespace uhb;
+using slc::LeakageSignature;
+using slc::Operand;
+using slc::TransmitterInput;
+using slc::TxType;
+
+namespace
+{
+
+bool
+isDynamicOrIntrinsic(TxType t)
+{
+    return t == TxType::Intrinsic || t == TxType::DynamicOlder ||
+           t == TxType::DynamicYounger;
+}
+
+} // anonymous namespace
+
+CtContract
+deriveConstantTime(const AnalysisDb &db)
+{
+    // Table I: the CT contract is the set of transmitters (any type) with
+    // their unsafe arguments — exactly the typed explicit inputs of all
+    // leakage signatures, collapsed per instruction.
+    std::map<InstrId, CtEntry> acc;
+    for (const auto &sig : db.signatures) {
+        for (const auto &ti : sig.inputs) {
+            CtEntry &e = acc[ti.instr];
+            e.instr = ti.instr;
+            if (ti.op == Operand::Rs1)
+                e.rs1Unsafe = true;
+            else
+                e.rs2Unsafe = true;
+        }
+    }
+    CtContract out;
+    for (auto &[id, e] : acc)
+        out.transmitters.push_back(e);
+    return out;
+}
+
+Mi6Contract
+deriveMi6(const AnalysisDb &db)
+{
+    // MI6 splits channels by transmitter persistence: dynamic channels
+    // are modulated by intrinsic/dynamic transmitters (contention),
+    // static channels by static transmitters (§IV-C).
+    Mi6Contract out;
+    for (const auto &sig : db.signatures) {
+        Mi6Channel dyn{sig.transponder, sig.src, {}};
+        Mi6Channel sta{sig.transponder, sig.src, {}};
+        for (const auto &ti : sig.inputs) {
+            if (isDynamicOrIntrinsic(ti.type))
+                dyn.inputs.push_back(ti);
+            else
+                sta.inputs.push_back(ti);
+        }
+        if (!dyn.inputs.empty())
+            out.dynamicChannels.push_back(std::move(dyn));
+        if (!sta.inputs.empty())
+            out.staticChannels.push_back(std::move(sta));
+    }
+    return out;
+}
+
+OisaContract
+deriveOisa(const AnalysisDb &db)
+{
+    // OISA targets input-dependent arithmetic units: intrinsic
+    // transmitters whose decision source is a functional-unit PL that
+    // they may occupy for an operand-dependent number of cycles.
+    OisaContract out;
+    const auto &hx = *db.hx;
+    std::set<std::pair<std::string, InstrId>> seen;
+    for (const auto &sig : db.signatures) {
+        for (const auto &ti : sig.inputs) {
+            if (ti.type != TxType::Intrinsic)
+                continue;
+            // The unit is the decision source's μFSM if the source can be
+            // revisited (variable occupancy).
+            const auto pit = db.paths.find(sig.transponder);
+            if (pit == db.paths.end())
+                continue;
+            bool revisits = false;
+            for (const auto &p : pit->second.paths) {
+                auto r = p.revisit.find(sig.src);
+                if (r != p.revisit.end() && r->second != Revisit::None)
+                    revisits = true;
+            }
+            if (!revisits)
+                continue;
+            std::string unit = hx.plName(sig.src);
+            if (!seen.insert({unit, ti.instr}).second) {
+                // merge operand flags into the existing entry
+                for (auto &u : out.units)
+                    if (u.unitPl == unit && u.transmitter == ti.instr) {
+                        u.rs1Unsafe |= ti.op == Operand::Rs1;
+                        u.rs2Unsafe |= ti.op == Operand::Rs2;
+                    }
+                continue;
+            }
+            OisaContract::Unit u;
+            u.unitPl = unit;
+            u.transmitter = ti.instr;
+            u.rs1Unsafe = ti.op == Operand::Rs1;
+            u.rs2Unsafe = ti.op == Operand::Rs2;
+            out.units.push_back(u);
+        }
+    }
+    return out;
+}
+
+SttContract
+deriveStt(const AnalysisDb &db)
+{
+    SttContract out;
+    const auto &info = db.hx->duv();
+    std::set<InstrId> implicit_br;
+    for (const auto &sig : db.signatures) {
+        SttContract::Channel expl{sig.transponder, sig.src, {}};
+        SttContract::Channel impl{sig.transponder, sig.src, {}};
+        SttContract::Channel pred{sig.transponder, sig.src, {}};
+        SttContract::Channel reso{sig.transponder, sig.src, {}};
+        for (const auto &ti : sig.inputs) {
+            if (ti.type == TxType::Intrinsic) {
+                expl.inputs.push_back(ti);
+            } else {
+                impl.inputs.push_back(ti);
+                implicit_br.insert(sig.transponder);
+                if (ti.type == TxType::Static)
+                    pred.inputs.push_back(ti);
+                else
+                    reso.inputs.push_back(ti);
+            }
+        }
+        if (!expl.inputs.empty())
+            out.explicitChannels.push_back(std::move(expl));
+        if (!impl.inputs.empty())
+            out.implicitChannels.push_back(std::move(impl));
+        if (!pred.inputs.empty())
+            out.predictionBased.push_back(std::move(pred));
+        if (!reso.inputs.empty())
+            out.resolutionBased.push_back(std::move(reso));
+    }
+    out.implicitBranches.assign(implicit_br.begin(), implicit_br.end());
+    for (InstrId i = 0; i < info.instrs.size(); i++)
+        if (info.instrs[i].cls == InstrClass::Branch ||
+            info.instrs[i].cls == InstrClass::Jump)
+            out.explicitBranches.push_back(i);
+    return out;
+}
+
+SdoContract
+deriveSdo(const AnalysisDb &db)
+{
+    // SDO's data-oblivious variants are derived from the realizable
+    // μPATHs of each transmitter (Table I: the only contract component
+    // needing μ in addition to signatures).
+    SdoContract out;
+    std::set<InstrId> transmitters;
+    for (const auto &sig : db.signatures)
+        for (const auto &ti : sig.inputs)
+            transmitters.insert(ti.instr);
+    for (InstrId t : transmitters) {
+        auto it = db.paths.find(t);
+        if (it == db.paths.end())
+            continue;
+        SdoContract::Variants v;
+        v.transmitter = t;
+        v.numVariants = it->second.paths.size();
+        for (const auto &p : it->second.paths)
+            v.latencies.push_back(p.latency());
+        out.perTransmitter.push_back(std::move(v));
+    }
+    return out;
+}
+
+DolmaContract
+deriveDolma(const AnalysisDb &db)
+{
+    DolmaContract out;
+    const auto &info = db.hx->duv();
+    std::set<InstrId> vt, ind, res, psm;
+    std::set<std::pair<InstrId, PlId>> rp;
+    for (const auto &sig : db.signatures) {
+        for (const auto &ti : sig.inputs) {
+            if (ti.type == TxType::Intrinsic)
+                vt.insert(ti.instr);
+            // Dynamic transmitters are distinct dynamic instances even
+            // when they share the transponder's opcode: the transponder
+            // is an inducive micro-op resolved by them.
+            if (ti.type == TxType::DynamicOlder ||
+                ti.type == TxType::DynamicYounger) {
+                ind.insert(sig.transponder);
+                res.insert(ti.instr);
+                rp.insert({sig.transponder, sig.src});
+            }
+            if (ti.type == TxType::Static)
+                psm.insert(ti.instr);
+        }
+    }
+    // Stores modify persistent (post-commit) state by construction.
+    for (InstrId i = 0; i < info.instrs.size(); i++)
+        if (info.instrs[i].cls == InstrClass::Store)
+            psm.insert(i);
+    out.variableTimeOps.assign(vt.begin(), vt.end());
+    out.inducive.assign(ind.begin(), ind.end());
+    out.resolvent.assign(res.begin(), res.end());
+    out.resolutionPoints.assign(rp.begin(), rp.end());
+    out.persistentStateModifying.assign(psm.begin(), psm.end());
+    return out;
+}
+
+std::string
+renderContracts(const AnalysisDb &db)
+{
+    const auto &info = db.hx->duv();
+    auto iname = [&](InstrId i) { return info.instrs[i].name; };
+    auto ops = [&](bool r1, bool r2) {
+        std::string s;
+        if (r1)
+            s += "rs1";
+        if (r2)
+            s += s.empty() ? "rs2" : ",rs2";
+        return s.empty() ? "-" : s;
+    };
+    std::ostringstream os;
+
+    CtContract ctc = deriveConstantTime(db);
+    os << "== Constant-time (CT) contract: transmitters & unsafe operands\n";
+    AsciiTable tc;
+    tc.setHeader({"transmitter", "unsafe operands"});
+    for (const auto &e : ctc.transmitters)
+        tc.addRow({iname(e.instr), ops(e.rs1Unsafe, e.rs2Unsafe)});
+    os << tc.str();
+
+    Mi6Contract mi6 = deriveMi6(db);
+    os << "\n== MI6: " << mi6.dynamicChannels.size()
+       << " contention-based dynamic channels, "
+       << mi6.staticChannels.size() << " static channels\n";
+
+    OisaContract oisa = deriveOisa(db);
+    os << "\n== OISA: input-dependent arithmetic units\n";
+    for (const auto &u : oisa.units)
+        os << "  unit " << u.unitPl << " <- " << iname(u.transmitter)
+           << " (" << ops(u.rs1Unsafe, u.rs2Unsafe) << ")\n";
+
+    SttContract stt = deriveStt(db);
+    os << "\n== STT/SDO/SPT: " << stt.explicitChannels.size()
+       << " explicit channels, " << stt.implicitChannels.size()
+       << " implicit channels, " << stt.implicitBranches.size()
+       << " implicit branches, " << stt.explicitBranches.size()
+       << " explicit branches, " << stt.predictionBased.size()
+       << " prediction-based, " << stt.resolutionBased.size()
+       << " resolution-based\n";
+    os << "   implicit branches:";
+    for (InstrId i : stt.implicitBranches)
+        os << " " << iname(i);
+    os << "\n";
+
+    SdoContract sdo = deriveSdo(db);
+    os << "\n== SDO data-oblivious variants\n";
+    for (const auto &v : sdo.perTransmitter) {
+        os << "  " << iname(v.transmitter) << ": " << v.numVariants
+           << " path variants, latencies {";
+        for (size_t i = 0; i < v.latencies.size(); i++)
+            os << (i ? "," : "") << v.latencies[i];
+        os << "}\n";
+    }
+
+    DolmaContract dol = deriveDolma(db);
+    auto list = [&](const std::vector<InstrId> &v) {
+        std::string s;
+        for (InstrId i : v)
+            s += (s.empty() ? "" : " ") + iname(i);
+        return s.empty() ? std::string("-") : s;
+    };
+    os << "\n== Dolma\n";
+    os << "  variable-time micro-ops: " << list(dol.variableTimeOps) << "\n";
+    os << "  inducive micro-ops:      " << list(dol.inducive) << "\n";
+    os << "  resolvent micro-ops:     " << list(dol.resolvent) << "\n";
+    os << "  resolution points:      ";
+    for (const auto &[p, src] : dol.resolutionPoints)
+        os << " " << iname(p) << "@" << db.hx->plName(src);
+    os << "\n  persistent-state-modifying: "
+       << list(dol.persistentStateModifying) << "\n";
+    return os.str();
+}
+
+} // namespace rmp::ct

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Leakage-contract derivation (§II-B, §IV-D, Table I).
+ *
+ * From the μPATHs synthesized by RTL2MμPATH and the leakage signatures
+ * synthesized by SynthLC, this module derives the six leakage contracts of
+ * Table I: the canonical constant-time (CT) contract plus the bespoke
+ * contracts of MI6, OISA, STT (shared by SDO and SPT), SDO's
+ * data-oblivious variants, and Dolma. Each derivation follows the
+ * component mapping of Table I exactly; no additional model checking is
+ * required.
+ */
+
+#ifndef CONTRACTS_CONTRACTS_HH
+#define CONTRACTS_CONTRACTS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "designs/harness.hh"
+#include "synthlc/synthlc.hh"
+#include "uhb/graph.hh"
+
+namespace rmp::ct
+{
+
+/** The combined analysis results for one DUV. */
+struct AnalysisDb
+{
+    const designs::Harness *hx = nullptr;
+    /** μPATHs + decisions per analyzed instruction. */
+    std::map<uhb::InstrId, uhb::InstrPaths> paths;
+    /** All synthesized leakage signatures. */
+    std::vector<slc::LeakageSignature> signatures;
+};
+
+/** CT contract entry: a transmitter and its unsafe operands (§II-B). */
+struct CtEntry
+{
+    uhb::InstrId instr = 0;
+    bool rs1Unsafe = false;
+    bool rs2Unsafe = false;
+};
+
+/** The canonical constant-time contract. */
+struct CtContract
+{
+    std::vector<CtEntry> transmitters;
+};
+
+/** One channel for the MI6 contract. */
+struct Mi6Channel
+{
+    uhb::InstrId transponder = 0;
+    uhb::PlId src = uhb::kNoPl;
+    std::vector<slc::TransmitterInput> inputs;
+};
+
+/** MI6: dynamic (contention) channels + static channels (§II-B). */
+struct Mi6Contract
+{
+    std::vector<Mi6Channel> dynamicChannels;
+    std::vector<Mi6Channel> staticChannels;
+};
+
+/** OISA: arithmetic units with input-dependent occupancy. */
+struct OisaContract
+{
+    struct Unit
+    {
+        std::string unitPl;       ///< the FU performing location
+        uhb::InstrId transmitter; ///< instruction with variable occupancy
+        bool rs1Unsafe = false, rs2Unsafe = false;
+    };
+    std::vector<Unit> units;
+};
+
+/** STT/SDO/SPT fine-grained contract (§II-B). */
+struct SttContract
+{
+    struct Channel
+    {
+        uhb::InstrId transponder;
+        uhb::PlId src;
+        std::vector<slc::TransmitterInput> inputs;
+    };
+    std::vector<Channel> explicitChannels; ///< intrinsic-transmitter srcs
+    std::vector<Channel> implicitChannels; ///< dynamic/static-dependent srcs
+    /** Instructions whose variability depends on others' operands. */
+    std::vector<uhb::InstrId> implicitBranches;
+    /** Architectural control-flow instructions. */
+    std::vector<uhb::InstrId> explicitBranches;
+    /** Channels modulated by static transmitters (predictor-like state). */
+    std::vector<Channel> predictionBased;
+    /** Channels modulated by dynamic transmitters (resolution-based). */
+    std::vector<Channel> resolutionBased;
+};
+
+/** SDO data-oblivious variants: realizable μPATHs per transmitter. */
+struct SdoContract
+{
+    struct Variants
+    {
+        uhb::InstrId transmitter;
+        size_t numVariants = 0;        ///< realizable μPATH count
+        std::vector<unsigned> latencies; ///< witness latencies per variant
+    };
+    std::vector<Variants> perTransmitter;
+};
+
+/** Dolma contract components (§II-B). */
+struct DolmaContract
+{
+    /** Micro-ops with operand-dependent execution time (intrinsic Ts). */
+    std::vector<uhb::InstrId> variableTimeOps;
+    /** Transponders whose variability others' operands induce. */
+    std::vector<uhb::InstrId> inducive;
+    /** The transmitters resolving that variability. */
+    std::vector<uhb::InstrId> resolvent;
+    /** (transponder, src) pairs: prediction resolution points. */
+    std::vector<std::pair<uhb::InstrId, uhb::PlId>> resolutionPoints;
+    /** Micro-ops that modify persistent state after commit. */
+    std::vector<uhb::InstrId> persistentStateModifying;
+};
+
+/** @name Derivations (Table I) */
+/// @{
+CtContract deriveConstantTime(const AnalysisDb &db);
+Mi6Contract deriveMi6(const AnalysisDb &db);
+OisaContract deriveOisa(const AnalysisDb &db);
+SttContract deriveStt(const AnalysisDb &db);
+SdoContract deriveSdo(const AnalysisDb &db);
+DolmaContract deriveDolma(const AnalysisDb &db);
+/// @}
+
+/** Render the six contracts as a paper-style report. */
+std::string renderContracts(const AnalysisDb &db);
+
+} // namespace rmp::ct
+
+#endif // CONTRACTS_CONTRACTS_HH

@@ -1,0 +1,302 @@
+#include "designs/dcache.hh"
+
+#include "common/logging.hh"
+#include "designs/dutil.hh"
+
+namespace rmp::designs
+{
+
+using namespace uhb;
+
+DuvUnderConstruction
+buildDcache()
+{
+    DuvUnderConstruction duc;
+    duc.design = std::make_shared<Design>("dcache");
+    duc.builder = std::make_shared<Builder>(*duc.design);
+    Builder &b = *duc.builder;
+    DuvInfo &info = duc.info;
+    info.design = duc.design;
+    info.name = "dcache";
+
+    constexpr unsigned kData = 8;
+    constexpr unsigned kAddrW = 3; // set = addr[0], tag = addr[2:1]
+    constexpr unsigned kPcW = 5;   // transaction-id width
+
+    auto L = [&](unsigned w, uint64_t v) { return b.lit(w, v); };
+    auto L1 = [&](bool v) { return b.lit1(v); };
+
+    // ---- Request port (the cache's "frontend") ------------------------
+    Sig req_valid = b.input("req_valid", 1);
+    Sig req_word = b.input("req_word", 7);
+    RegSig txn_ctr = b.regh("txn_ctr", kPcW, 0);
+
+    // ---- Request queue (1 entry) -------------------------------------
+    RegSig rq_valid = b.regh("rq_valid", 1, 0);
+    RegSig rq_pc = b.regh("rq_pc", kPcW, 0);
+    RegSig rq_is_st = b.regh("rq_is_st", 1, 0);
+    RegSig rq_addr = b.regh("rq_addr", kAddrW, 0);
+    RegSig rq_data = b.regh("rq_data", kData, 0);
+
+    // ---- Load path ------------------------------------------------------
+    RegSig ldtag_v = b.regh("ldtag_v", 1, 0);
+    RegSig ld_pc = b.regh("ld_pc", kPcW, 0);
+    RegSig ld_addr = b.regh("ld_addr", kAddrW, 0);
+    RegSig rd0_v = b.regh("rd0_v", 1, 0); // data-bank 0 read (way 0 hit)
+    RegSig rd1_v = b.regh("rd1_v", 1, 0); // data-bank 1 read (way 1 hit)
+    RegSig mshr_v = b.regh("mshr_v", 1, 0);
+    RegSig fill_v = b.regh("fill_v", 1, 0);
+
+    // ---- Store path ------------------------------------------------------
+    RegSig wbv = b.regh("wbv", 1, 0); // write buffer valid (wBVld)
+    RegSig st_pc = b.regh("st_pc", kPcW, 0);
+    RegSig st_addr = b.regh("st_addr", kAddrW, 0);
+    RegSig st_data = b.regh("st_data", kData, 0);
+    RegSig wrtag_v = b.regh("wrtag_v", 1, 0);
+    RegSig wrb0_v = b.regh("wrb0_v", 1, 0); // wr$0
+    RegSig wrb1_v = b.regh("wrb1_v", 1, 0); // wr$1
+    RegSig st_hit_way = b.regh("st_hit_way", 1, 0);
+    RegSig st_memw = b.regh("st_memw", 1, 0); // waiting for write-through
+
+    // ---- Shared memory port (loads prioritized) ------------------------
+    RegSig mem_busy = b.regh("mem_busy", 1, 0);
+    RegSig mem_pc = b.regh("mem_pc", kPcW, 0);
+    RegSig mem_is_st = b.regh("mem_is_st", 1, 0);
+    RegSig mem_cnt = b.regh("mem_cnt", 1, 0);
+    RegSig mem_addr = b.regh("mem_addr", kAddrW, 0);
+    RegSig mem_wdata = b.regh("mem_wdata", kData, 0);
+
+    // ---- Response (the cache's "commit") -------------------------------
+    RegSig resp_v = b.regh("resp_v", 1, 0);
+    RegSig resp_pc = b.regh("resp_pc", kPcW, 0);
+    RegSig resp_data = b.regh("resp_data", kData, 0);
+
+    // ---- Cache arrays (persistent state) -------------------------------
+    // tags[set*2+way] (2 bits), valid bits, data[set*2+way] per-way banks,
+    // round-robin replacement bit per set.
+    MemArray tags = b.mem("cacheTag", 4, 2);
+    MemArray vbits = b.mem("cacheVld", 4, 1);
+    MemArray datab = b.mem("cacheData", 4, kData);
+    MemArray rr = b.mem("cacheRR", 2, 1);
+
+    // ---- Backing memory (architectural) --------------------------------
+    MemArray amem = b.mem("amem", 8, kData);
+    symbolicInit(b, amem, "amem");
+
+    // ---- Request acceptance ---------------------------------------------
+    Sig in_is_st = req_word.bit(0);
+    Sig in_addr = req_word.slice(1, 3);
+    Sig in_data = req_word.slice(4, 3).zext(kData);
+    Sig rq_dispatch_ld = rq_valid.q & ~rq_is_st.q & ~ldtag_v.q &
+                         ~mshr_v.q & ~fill_v.q & ~rd0_v.q & ~rd1_v.q;
+    Sig rq_dispatch_st = rq_valid.q & rq_is_st.q & ~wbv.q & ~wrtag_v.q &
+                         ~st_memw.q;
+    Sig rq_dispatch = b.named("rq_dispatch", rq_dispatch_ld | rq_dispatch_st);
+    Sig req_ready = b.named("req_ready", ~rq_valid.q | rq_dispatch);
+    Sig req_fire = b.named("req_fire", req_valid & req_ready);
+
+    b.when(req_fire);
+    b.assign(rq_valid, L1(true));
+    b.assign(rq_pc, txn_ctr.q);
+    b.assign(rq_is_st, in_is_st);
+    b.assign(rq_addr, in_addr);
+    b.assign(rq_data, in_data);
+    b.assign(txn_ctr, txn_ctr.q + L(kPcW, 1));
+    b.elseWhen(rq_dispatch);
+    b.assign(rq_valid, L1(false));
+    b.end();
+
+    // ---- Tag lookup helpers ---------------------------------------------
+    auto tag_of = [&](Sig addr) { return addr.slice(1, 2); };
+    auto set_of = [&](Sig addr) { return addr.slice(0, 1); };
+    auto way_idx = [&](Sig set, Sig way) {
+        return b.cat(set, way); // index = set*2 + way
+    };
+    auto lookup = [&](Sig addr, Sig &hit, Sig &hit_way) {
+        Sig set = set_of(addr);
+        Sig t = tag_of(addr);
+        Sig h0 = (b.memRead(tags, way_idx(set, L(1, 0))) == t) &
+                 b.memRead(vbits, way_idx(set, L(1, 0))).bit(0);
+        Sig h1 = (b.memRead(tags, way_idx(set, L(1, 1))) == t) &
+                 b.memRead(vbits, way_idx(set, L(1, 1))).bit(0);
+        hit = h0 | h1;
+        hit_way = h1; // way 1 iff h1
+    };
+
+    // ---- Load pipeline ---------------------------------------------------
+    b.when(rq_dispatch_ld);
+    b.assign(ldtag_v, L1(true));
+    b.assign(ld_pc, rq_pc.q);
+    b.assign(ld_addr, rq_addr.q);
+    b.otherwise();
+    b.assign(ldtag_v, L1(false));
+    b.end();
+
+    Sig ld_hit, ld_hit_way;
+    lookup(ld_addr.q, ld_hit, ld_hit_way);
+    ld_hit = b.named("ld_hit", ldtag_v.q & ld_hit);
+
+    // Hit: read the selected data bank next cycle.
+    b.when(ld_hit & ~ld_hit_way);
+    b.assign(rd0_v, L1(true));
+    b.otherwise();
+    b.assign(rd0_v, L1(false));
+    b.end();
+    b.when(ld_hit & ld_hit_way);
+    b.assign(rd1_v, L1(true));
+    b.otherwise();
+    b.assign(rd1_v, L1(false));
+    b.end();
+
+    // Miss: allocate the MSHR and fetch through the memory port.
+    Sig ld_miss = b.named("ld_miss", ldtag_v.q & ~ld_hit);
+    b.when(ld_miss);
+    b.assign(mshr_v, L1(true));
+    b.end();
+
+    // Memory-port arbitration: load fetch beats store write-through.
+    Sig ld_wants_mem = mshr_v.q & ~mem_busy.q;
+    Sig st_wants_mem = st_memw.q & ~mem_busy.q;
+    Sig mem_start_ld = b.named("mem_start_ld", ld_wants_mem);
+    Sig mem_start_st = b.named("mem_start_st", st_wants_mem & ~ld_wants_mem);
+    Sig mem_done = b.named("mem_done", mem_busy.q & (mem_cnt.q == L(1, 1)));
+    b.when(mem_start_ld | mem_start_st);
+    b.assign(mem_busy, L1(true));
+    b.assign(mem_pc, b.mux(mem_start_ld, ld_pc.q, st_pc.q));
+    b.assign(mem_is_st, mem_start_st);
+    b.assign(mem_addr, b.mux(mem_start_ld, ld_addr.q, st_addr.q));
+    b.assign(mem_wdata, st_data.q);
+    b.assign(mem_cnt, L(1, 0));
+    b.elseWhen(mem_done);
+    b.assign(mem_busy, L1(false));
+    b.end();
+    b.when(mem_busy.q & ~mem_done);
+    b.assign(mem_cnt, L(1, 1));
+    b.end();
+    // Write-through commits to backing memory when the port finishes.
+    b.memWrite(amem, mem_done & mem_is_st.q, mem_addr.q, mem_wdata.q);
+
+    // Load fetch completes: fill the victim way (read-allocate).
+    Sig ld_fetch_done = b.named("ld_fetch_done", mem_done & ~mem_is_st.q);
+    b.when(ld_fetch_done);
+    b.assign(mshr_v, L1(false));
+    b.assign(fill_v, L1(true));
+    b.elseWhen(fill_v.q);
+    b.assign(fill_v, L1(false));
+    b.end();
+    Sig fill_set = set_of(ld_addr.q);
+    Sig victim = b.memRead(rr, fill_set).bit(0);
+    Sig fill_idx = way_idx(fill_set, victim);
+    // Forward a pending write-through to a fill of the same address so
+    // the cache never captures stale memory.
+    Sig fetched = b.mux(st_memw.q & (st_addr.q == ld_addr.q), st_data.q,
+                        b.memRead(amem, ld_addr.q));
+    b.memWrite(tags, fill_v.q, fill_idx, tag_of(ld_addr.q));
+    b.memWrite(vbits, fill_v.q, fill_idx, L(1, 1));
+    b.memWrite(datab, fill_v.q, fill_idx, fetched);
+    b.memWrite(rr, fill_v.q, fill_set, (~victim).zext(1));
+
+    // ---- Store pipeline ---------------------------------------------------
+    b.when(rq_dispatch_st);
+    b.assign(wbv, L1(true));
+    b.assign(st_pc, rq_pc.q);
+    b.assign(st_addr, rq_addr.q);
+    b.assign(st_data, rq_data.q);
+    b.otherwise();
+    b.assign(wbv, L1(false));
+    b.end();
+
+    Sig st_hit, st_hw;
+    lookup(st_addr.q, st_hit, st_hw);
+    st_hit = b.named("st_hit", wbv.q & st_hit);
+    // The ST_wBVld decision (Fig. 5): hit -> {wRTag, wr$bank}; miss ->
+    // {wRTag} only (no-write-allocate).
+    b.when(wbv.q);
+    b.assign(wrtag_v, L1(true));
+    b.assign(st_hit_way, st_hw);
+    b.assign(st_memw, L1(true));
+    b.otherwise();
+    b.assign(wrtag_v, L1(false));
+    b.end();
+    b.when(st_hit & ~st_hw);
+    b.assign(wrb0_v, L1(true));
+    b.otherwise();
+    b.assign(wrb0_v, L1(false));
+    b.end();
+    b.when(st_hit & st_hw);
+    b.assign(wrb1_v, L1(true));
+    b.otherwise();
+    b.assign(wrb1_v, L1(false));
+    b.end();
+    // Data-bank update on hit.
+    Sig st_idx = way_idx(set_of(st_addr.q), st_hit_way.q);
+    b.memWrite(datab, wrb0_v.q | wrb1_v.q, st_idx, st_data.q);
+    // Write-through finishes when the memory port completes the store.
+    Sig st_mem_done = b.named("st_mem_done", mem_done & mem_is_st.q);
+    b.when(st_mem_done);
+    b.assign(st_memw, L1(false));
+    b.end();
+
+    // ---- Responses --------------------------------------------------------
+    Sig ld_resp = rd0_v.q | rd1_v.q | fill_v.q;
+    Sig ld_rdata = b.mux(
+        fill_v.q, fetched,
+        b.memRead(datab, way_idx(set_of(ld_addr.q), rd1_v.q)));
+    b.when(ld_resp);
+    b.assign(resp_v, L1(true));
+    b.assign(resp_pc, ld_pc.q);
+    b.assign(resp_data, ld_rdata);
+    b.elseWhen(st_mem_done);
+    b.assign(resp_v, L1(true));
+    b.assign(resp_pc, mem_pc.q);
+    b.assign(resp_data, L(kData, 0));
+    b.otherwise();
+    b.assign(resp_v, L1(false));
+    b.end();
+
+    // ---- Metadata ----------------------------------------------------------
+    info.ifr = req_word.id;
+    info.fetchValid = req_valid.id;
+    info.fetchReady = req_ready.id;
+    info.fetchPc = txn_ctr.q.id;
+    info.commit = resp_v.q.id;
+    info.commitPc = resp_pc.q.id;
+    info.opcodeLo = 0;
+    info.opcodeWidth = 1;
+    info.layout = {0, 0, 1, 3, 4, 3, 0, 0}; // rs1 = address, rs2 = data
+    info.instrs = {
+        {"LDREQ", 0, InstrClass::Load, true, false},
+        {"STREQ", 1, InstrClass::Store, true, true},
+    };
+    info.fsms = {
+        {"reqQ", rq_pc.q.id, {rq_valid.q.id}, {{0}}, {}},
+        {"ldTag", ld_pc.q.id, {ldtag_v.q.id}, {{0}}, {}},
+        {"rd$0", ld_pc.q.id, {rd0_v.q.id}, {{0}}, {}},
+        {"rd$1", ld_pc.q.id, {rd1_v.q.id}, {{0}}, {}},
+        {"MSHR", ld_pc.q.id, {mshr_v.q.id}, {{0}}, {}},
+        {"fill", ld_pc.q.id, {fill_v.q.id}, {{0}}, {}},
+        {"wBVld", st_pc.q.id, {wbv.q.id}, {{0}}, {}},
+        {"stWait", st_pc.q.id, {st_memw.q.id}, {{0}}, {}},
+        {"wRTag", st_pc.q.id, {wrtag_v.q.id}, {{0}}, {}},
+        {"wr$0", st_pc.q.id, {wrb0_v.q.id}, {{0}}, {}},
+        {"wr$1", st_pc.q.id, {wrb1_v.q.id}, {{0}}, {}},
+        {"memPort", mem_pc.q.id, {mem_busy.q.id}, {{0}}, {}},
+        {"resp", resp_pc.q.id, {resp_v.q.id}, {{0}}, {}},
+    };
+    // The request buffer's address/data registers are the "operand
+    // registers" at the cache's issue point.
+    info.rs1Reg = rq_addr.q.id;
+    info.rs2Reg = rq_data.q.id;
+    info.issueOccupied = rq_valid.q.id;
+    info.issuePcr = rq_pc.q.id;
+    for (const auto &w : amem.words)
+        info.amemRegs.push_back(w.q.id);
+    for (const auto &arr : {&tags, &vbits, &datab, &rr})
+        for (const auto &w : arr->words)
+            info.persistentRegs.push_back(w.q.id);
+    info.completenessBound = 20;
+    info.pcWidth = kPcW;
+    return duc;
+}
+
+} // namespace rmp::designs

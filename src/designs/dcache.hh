@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The standalone L1 data-cache DUV (§VII-A2).
+ *
+ * Mirrors the paper's CVA6 cache experiment: the cache plus its
+ * controller are analyzed in isolation, with the model checker driving
+ * load/store requests at the request port (the cache's "IFR") and
+ * transaction ids serving as IIDs. Structure:
+ *
+ *   reqQ -> loads:  ldTag -> hit: rd$0 / rd$1 -> resp
+ *                        -> miss: MSHR -> memPort(2 cycles) -> fill -> resp
+ *        -> stores: wBVld -> hit:  {wRTag, wr$bank} -> memPort -> resp
+ *                        -> miss: {wRTag}           -> memPort -> resp
+ *
+ * 2-way set-associative, 2 sets, one data bank per way, no-write-allocate
+ * write-through stores with a 1-entry write buffer, a 1-entry MSHR, and a
+ * single shared memory port that prioritizes load fetches — reproducing
+ * the paper's findings: the ST_wBVld leakage function (Fig. 5: hit
+ * selects a data bank) with LDs as *static* transmitters (fills change
+ * later hit/miss) but STs not (no-write-allocate), plus dynamic
+ * port-contention channels.
+ *
+ * Cache arrays (tags, valids, data, replacement state) are persistent
+ * microarchitectural state for the Assumption-3 sticky-taint flush.
+ *
+ * Request encoding (7-bit word): [0] = op (0 load, 1 store),
+ * [3:1] = address, [6:4] = data.
+ */
+
+#ifndef DESIGNS_DCACHE_HH
+#define DESIGNS_DCACHE_HH
+
+#include "designs/harness.hh"
+
+namespace rmp::designs
+{
+
+/** Build the cache DUV (unfinalized; feed it to Harness). */
+DuvUnderConstruction buildDcache();
+
+} // namespace rmp::designs
+
+#endif // DESIGNS_DCACHE_HH

@@ -1,0 +1,21 @@
+#include "designs/dutil.hh"
+
+namespace rmp::designs
+{
+
+Sig
+symbolicInit(Builder &b, MemArray &m, const std::string &prefix)
+{
+    RegSig booted = b.regh(prefix + "_booted", 1, 0);
+    b.assign(booted, b.lit1(true));
+    for (size_t i = 0; i < m.size(); i++) {
+        Sig iv = b.input(prefix + "_init" + std::to_string(i),
+                         m.wordWidth);
+        b.when(~booted.q);
+        b.assign(m.words[i], iv);
+        b.end();
+    }
+    return booted.q;
+}
+
+} // namespace rmp::designs

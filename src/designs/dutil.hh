@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared DUV construction utilities.
+ */
+
+#ifndef DESIGNS_DUTIL_HH
+#define DESIGNS_DUTIL_HH
+
+#include "rtlir/builder.hh"
+
+namespace rmp::designs
+{
+
+/**
+ * Symbolically initialize architectural state at reset (§V-B: "only
+ * architectural state is symbolically initialized"). Each word of @p m is
+ * loaded from a fresh input during the first cycle after reset, letting
+ * the model checker choose arbitrary initial ARF/AMEM contents. The
+ * simulator leaves unspecified inputs at zero, so functional tests see a
+ * zero-initialized machine unless they drive the init inputs explicitly.
+ *
+ * @return the "booted" wire (false during the init cycle only).
+ */
+Sig symbolicInit(Builder &b, MemArray &m, const std::string &prefix);
+
+} // namespace rmp::designs
+
+#endif // DESIGNS_DUTIL_HH

@@ -1,0 +1,709 @@
+#include "designs/mcva.hh"
+
+#include "common/logging.hh"
+#include "designs/dutil.hh"
+#include "designs/mcva_isa.hh"
+
+namespace rmp::designs
+{
+
+using namespace uhb;
+
+namespace
+{
+
+constexpr unsigned kData = 8;  ///< datapath width
+constexpr unsigned kPcW = 6;   ///< fetch-PC counter width
+constexpr unsigned kAddrW = 3; ///< memory address width (8 words)
+constexpr unsigned kInstrW = 16;
+
+} // anonymous namespace
+
+DuvUnderConstruction
+buildMcva(const McvaConfig &cfg)
+{
+    DuvUnderConstruction duc;
+    std::string name = "mcva";
+    if (cfg.withZeroSkipMul)
+        name += "-mul";
+    if (cfg.withOperandPacking)
+        name += "-op";
+    if (cfg.fixAlignmentBugs)
+        name += "-fixed";
+    if (cfg.withScbCounterBug)
+        name += "-scbbug";
+    duc.design = std::make_shared<Design>(name);
+    duc.builder = std::make_shared<Builder>(*duc.design);
+    Builder &b = *duc.builder;
+    DuvInfo &info = duc.info;
+    info.design = duc.design;
+    info.name = name;
+
+    auto L = [&](unsigned w, uint64_t v) { return b.lit(w, v); };
+    auto L1 = [&](bool v) { return b.lit1(v); };
+
+    // =================== Frontend interface ==========================
+    Sig fetch_valid = b.input("fetch_valid", 1);
+    Sig ifr = b.input("ifr", kInstrW);
+    RegSig pc_ctr = b.regh("pc_ctr", kPcW, 0);
+
+    // =================== State declarations ===========================
+    RegSig if_valid = b.regh("if_valid", 1, 0);
+    RegSig if_instr = b.regh("if_instr", kInstrW, 0);
+    RegSig if_pc = b.regh("if_pc", kPcW, 0);
+
+    RegSig id_valid = b.regh("id_valid", 1, 0);
+    RegSig id_instr = b.regh("id_instr", kInstrW, 0);
+    RegSig id_pc = b.regh("id_pc", kPcW, 0);
+
+    // Issue stage: one instruction, with the shared operand registers
+    // (the §V-A taint-introduction point).
+    RegSig iss_active = b.regh("iss_active", 1, 0);
+    RegSig iss_pc = b.regh("iss_pc", kPcW, 0);
+    RegSig iss_cls = b.regh("iss_cls", 3, 0);
+    RegSig iss_subop = b.regh("iss_subop", 4, 0);
+    RegSig iss_rd = b.regh("iss_rd", 2, 0);
+    RegSig iss_we = b.regh("iss_we", 1, 0);
+    RegSig iss_imm = b.regh("iss_imm", 3, 0);
+    RegSig iss_a = b.regh("iss_a", kData, 0);
+    RegSig iss_b = b.regh("iss_b", kData, 0);
+
+    // ALU (also executes branches, jumps, and system ops).
+    RegSig alu_busy = b.regh("alu_busy", 1, 0);
+    RegSig alu_pc = b.regh("alu_pc", kPcW, 0);
+    RegSig alu_cls = b.regh("alu_cls", 3, 0);
+    RegSig alu_subop = b.regh("alu_subop", 4, 0);
+    RegSig alu_a = b.regh("alu_a", kData, 0);
+    RegSig alu_b = b.regh("alu_b", kData, 0);
+    RegSig alu_imm = b.regh("alu_imm", 3, 0);
+
+    // Multiplier.
+    RegSig mul_busy = b.regh("mul_busy", 1, 0);
+    RegSig mul_pc = b.regh("mul_pc", kPcW, 0);
+    RegSig mul_res = b.regh("mul_res", kData, 0);
+    RegSig mul_cnt = b.regh("mul_cnt", 2, 0);
+    RegSig mul_lat = b.regh("mul_lat", 2, 0);
+
+    // Serial divider (restoring; skips the dividend's leading zeros, so
+    // latency is dividend-dependent: 1..8 busy cycles).
+    RegSig div_busy = b.regh("div_busy", 1, 0);
+    RegSig div_pc = b.regh("div_pc", kPcW, 0);
+    RegSig div_num = b.regh("div_num", kData, 0);
+    RegSig div_den = b.regh("div_den", kData, 0);
+    RegSig div_quo = b.regh("div_quo", kData, 0);
+    RegSig div_rem = b.regh("div_rem", 9, 0);
+    RegSig div_i = b.regh("div_i", 3, 0);
+    RegSig div_isrem = b.regh("div_isrem", 1, 0);
+
+    // Load unit: LSQ + ldStall (store-to-load page-offset stall), ldFin.
+    RegSig lsq_valid = b.regh("lsq_valid", 1, 0);
+    RegSig ld_stalled = b.regh("ld_stalled", 1, 0);
+    RegSig ld_fin = b.regh("ld_fin", 1, 0);
+    RegSig ld_pc = b.regh("ld_pc", kPcW, 0);
+    RegSig ld_addr = b.regh("ld_addr", kAddrW, 0);
+
+    // Store buffers: 1-entry speculative, 1-entry committed, plus the
+    // memory-request (drain) state.
+    RegSig sstb_valid = b.regh("sstb_valid", 1, 0);
+    RegSig sstb_pc = b.regh("sstb_pc", kPcW, 0);
+    RegSig sstb_addr = b.regh("sstb_addr", kAddrW, 0);
+    RegSig sstb_data = b.regh("sstb_data", kData, 0);
+    RegSig cstb_valid = b.regh("cstb_valid", 1, 0);
+    RegSig cstb_pc = b.regh("cstb_pc", kPcW, 0);
+    RegSig cstb_addr = b.regh("cstb_addr", kAddrW, 0);
+    RegSig cstb_data = b.regh("cstb_data", kData, 0);
+    RegSig memrq_active = b.regh("memrq_active", 1, 0);
+
+    // Scoreboard: 2-entry collapsing FIFO (entry 0 is the oldest).
+    // state: 0 idle, 1 issued, 2 finished.
+    RegSig scb_state[2] = {b.regh("scb0_state", 2, 0),
+                           b.regh("scb1_state", 2, 0)};
+    RegSig scb_pc[2] = {b.regh("scb0_pc", kPcW, 0),
+                        b.regh("scb1_pc", kPcW, 0)};
+    RegSig scb_rd[2] = {b.regh("scb0_rd", 2, 0), b.regh("scb1_rd", 2, 0)};
+    RegSig scb_we[2] = {b.regh("scb0_we", 1, 0), b.regh("scb1_we", 1, 0)};
+    RegSig scb_excp[2] = {b.regh("scb0_excp", 1, 0),
+                          b.regh("scb1_excp", 1, 0)};
+    RegSig scb_st[2] = {b.regh("scb0_st", 1, 0), b.regh("scb1_st", 1, 0)};
+    RegSig scb_res[2] = {b.regh("scb0_res", kData, 0),
+                         b.regh("scb1_res", kData, 0)};
+
+    // Retire stage: 1 cmt (scbCmt), 2 excp (scbExcp).
+    RegSig ret_state = b.regh("ret_state", 2, 0);
+    RegSig ret_pc = b.regh("ret_pc", kPcW, 0);
+    RegSig ret_rd = b.regh("ret_rd", 2, 0);
+    RegSig ret_we = b.regh("ret_we", 1, 0);
+    RegSig ret_st = b.regh("ret_st", 1, 0);
+    RegSig ret_res = b.regh("ret_res", kData, 0);
+
+    // Architectural state (symbolically initialized at reset, §V-B).
+    MemArray arf = b.mem("arf", 4, kData);
+    symbolicInit(b, arf, "arf");
+    MemArray amem = b.mem("amem", 8, kData);
+    symbolicInit(b, amem, "amem");
+
+    // =================== Decode (combinational, at ID) =================
+    Sig opc = id_instr.q.slice(0, 7);
+    Sig cls = b.named("id_cls", opc.slice(4, 3));
+    Sig subop = b.named("id_subop", opc.slice(0, 4));
+    Sig rd = id_instr.q.slice(7, 2);
+    Sig rs1 = id_instr.q.slice(9, 2);
+    Sig rs2 = id_instr.q.slice(11, 2);
+    Sig imm = id_instr.q.slice(13, 3);
+
+    auto clsIs = [&](uint64_t c) { return cls == L(3, c); };
+    auto subIs = [&](uint64_t s) { return subop == L(4, s); };
+    Sig is_alu_r = clsIs(kClsAluReg);
+    Sig is_alu_i = clsIs(kClsAluImm);
+    Sig is_mul = clsIs(kClsMul);
+    Sig is_div = clsIs(kClsDiv);
+    Sig is_load = clsIs(kClsLoad);
+    Sig is_store = clsIs(kClsStore);
+    Sig is_branch = clsIs(kClsBranch);
+    Sig is_jsys = clsIs(kClsJumpSys);
+
+    // W-form subop normalization (see mcva_isa.hh).
+    Sig eff_subop = subop;
+    {
+        auto remap = [&](Sig cond, uint64_t from, uint64_t to) {
+            eff_subop = b.mux(cond & subIs(from), L(4, to), eff_subop);
+        };
+        remap(is_alu_r, 10, kAluAdd);
+        remap(is_alu_r, 11, kAluSub);
+        remap(is_alu_r, 12, kAluSll);
+        remap(is_alu_r, 13, kAluSrl);
+        remap(is_alu_r, 14, kAluSra);
+        remap(is_alu_i, 12, kAluAdd);
+        remap(is_alu_i, 13, kAluSll);
+        remap(is_alu_i, 14, kAluSrl);
+        remap(is_alu_i, 15, kAluSra);
+        eff_subop = b.named("id_eff_subop", eff_subop);
+    }
+
+    Sig is_jal = is_jsys & subIs(kJmpJal);
+    Sig is_jalr = is_jsys & subIs(kJmpJalr);
+    Sig is_csr_reg = is_jsys & (subIs(kSysCsrBase + 0) |
+                                subIs(kSysCsrBase + 1) |
+                                subIs(kSysCsrBase + 2));
+    Sig is_lui_auipc = is_alu_i & (subIs(kAluLui) | subIs(kAluAuipc));
+    Sig needs_rs1 =
+        b.named("id_needs_rs1",
+                (is_alu_r | is_mul | is_div | is_load | is_store |
+                 is_branch | is_jalr | is_csr_reg |
+                 (is_alu_i & ~is_lui_auipc)));
+    Sig needs_rs2 = b.named(
+        "id_needs_rs2", is_alu_r | is_mul | is_div | is_store | is_branch);
+    Sig id_we = b.named("id_we",
+                        (is_alu_r | is_alu_i | is_mul | is_div | is_load |
+                         is_jal | is_jalr) &
+                            ~(rd == L(2, 0)));
+
+    // =================== Hazards & structural blocks ===================
+    auto producer_hazard = [&](Sig rs) {
+        Sig h = L1(false);
+        for (int e = 0; e < 2; e++) {
+            h = h | (~(scb_state[e].q == L(2, 0)) & scb_we[e].q &
+                     (scb_rd[e].q == rs));
+        }
+        h = h | ((ret_state.q == L(2, 1)) & ret_we.q & (ret_rd.q == rs));
+        return h;
+    };
+    Sig raw_hazard = b.named("id_raw_hazard",
+                             (needs_rs1 & producer_hazard(rs1)) |
+                                 (needs_rs2 & producer_hazard(rs2)));
+
+    auto iss_holds = [&](uint64_t c) {
+        return iss_active.q & (iss_cls.q == L(3, c));
+    };
+    Sig ld_unit_busy = lsq_valid.q | ld_fin.q;
+    Sig fu_block = b.named(
+        "id_fu_block",
+        (is_mul & (mul_busy.q | iss_holds(kClsMul))) |
+            (is_div & (div_busy.q | iss_holds(kClsDiv))) |
+            (is_load & (ld_unit_busy | iss_holds(kClsLoad))) |
+            (is_store & (sstb_valid.q | iss_holds(kClsStore))));
+
+    // Operand packing (CVA6-OP): a register-ALU op in ID waits an extra
+    // decode cycle behind a register-ALU op at issue unless the pair
+    // packs — identical operation and all four operands narrow.
+    Sig pack_block = L1(false);
+    if (cfg.withOperandPacking) {
+        auto narrow = [&](Sig v) { return v.slice(4, 4) == L(4, 0); };
+        Sig my_a = b.memRead(arf, rs1);
+        Sig my_b = b.memRead(arf, rs2);
+        Sig pack_ok = b.named(
+            "id_pack_ok",
+            (iss_subop.q == eff_subop) & narrow(iss_a.q) & narrow(iss_b.q) &
+                narrow(my_a) & narrow(my_b));
+        pack_block = b.named("id_pack_block",
+                             is_alu_r & iss_holds(kClsAluReg) & ~pack_ok);
+    }
+
+    // Scoreboard allocation availability (the §VII-B2 counter bug uses a
+    // truncated occupancy count: "full" as soon as one entry is busy).
+    Sig e0_occ = ~(scb_state[0].q == L(2, 0));
+    Sig e1_occ = ~(scb_state[1].q == L(2, 0));
+    Sig pop;  // defined below (retire); forward-declared via wire trick
+    // We need pop in scb_free; compute retire pop condition here.
+    Sig e0_fin = scb_state[0].q == L(2, 2);
+    Sig pop_ok = e0_fin & ~(scb_st[0].q & cstb_valid.q);
+    pop = b.named("scb_pop", pop_ok);
+    Sig scb_free_real = ~e0_occ | ~e1_occ | pop;
+    Sig scb_free_bug = ~e0_occ & ~e1_occ; // truncated counter: 1 entry max
+    Sig scb_free = cfg.withScbCounterBug ? b.named("scb_free", scb_free_bug)
+                                         : b.named("scb_free", scb_free_real);
+
+    // =================== Branch resolution & flush =====================
+    Sig alu_is_branch = alu_busy.q & (alu_cls.q == L(3, kClsBranch));
+    Sig alu_is_jalr = alu_busy.q & (alu_cls.q == L(3, kClsJumpSys)) &
+                      (alu_subop.q == L(4, kJmpJalr));
+    Sig alu_is_jal = alu_busy.q & (alu_cls.q == L(3, kClsJumpSys)) &
+                     (alu_subop.q == L(4, kJmpJal));
+    Sig beq = alu_a.q == alu_b.q;
+    Sig blt = alu_a.q < alu_b.q;
+    Sig taken = b.named(
+        "br_taken",
+        (alu_subop.q == L(4, kBrEq) & beq) |
+            (alu_subop.q == L(4, kBrNe) & ~beq) |
+            ((alu_subop.q == L(4, kBrLt) | alu_subop.q == L(4, kBrLtu)) &
+             blt) |
+            ((alu_subop.q == L(4, kBrGe) | alu_subop.q == L(4, kBrGeu)) &
+             ~blt));
+    // JALR predicted target is pc+1; actual is rs1 (low PC bits).
+    Sig jalr_mispredict = b.named(
+        "jalr_mispredict",
+        ~(alu_a.q.slice(0, kPcW) == (alu_pc.q + L(kPcW, 1))));
+    Sig flush_br = b.named("flush_br", (alu_is_branch & taken) |
+                                           (alu_is_jalr & jalr_mispredict));
+    Sig flush_pc = alu_pc.q;
+    Sig flush_ex = b.named("flush_ex", ret_state.q == L(2, 2));
+    Sig flush_any = b.named("flush_any", flush_br | flush_ex);
+    auto younger_than_branch = [&](Sig pc) { return flush_pc < pc; };
+    auto killed = [&](Sig pc) {
+        return flush_ex | (flush_br & younger_than_branch(pc));
+    };
+
+    // =================== Alignment exceptions (§VII-B2) ================
+    // Scaled byte addresses: branch/JAL targets are pc*4 + imm (imm in
+    // bytes); JALR's target byte address is its rs1 value.
+    Sig imm_misaligned4 = ~(alu_imm.q.slice(0, 2) == L(2, 0));
+    Sig imm_misaligned2 = alu_imm.q.bit(0);
+    Sig jalr_misaligned = ~(alu_a.q.slice(0, 2) == L(2, 0));
+    Sig br_excp = cfg.fixAlignmentBugs
+                      ? (taken & imm_misaligned4)   // correct: only if taken
+                      : imm_misaligned4;            // bug: regardless
+    Sig jal_excp = cfg.fixAlignmentBugs
+                       ? imm_misaligned4
+                       : imm_misaligned2;           // bug: 2-byte check only
+    Sig jalr_excp = cfg.fixAlignmentBugs
+                        ? jalr_misaligned
+                        : L1(false);                // bug: never checked
+    Sig alu_is_sys_excp =
+        alu_busy.q & (alu_cls.q == L(3, kClsJumpSys)) &
+        ((alu_subop.q == L(4, kSysEcall)) | (alu_subop.q == L(4, kSysEbreak)));
+    Sig alu_excp = b.named("alu_excp",
+                           (alu_is_branch & br_excp) |
+                               (alu_is_jal & jal_excp) |
+                               (alu_is_jalr & jalr_excp) | alu_is_sys_excp);
+
+    // =================== Pipeline advance ==============================
+    Sig id_fire = b.named("id_fire", id_valid.q & ~raw_hazard & ~fu_block &
+                                         ~pack_block & scb_free &
+                                         ~flush_any);
+    Sig if_advance =
+        b.named("if_advance", if_valid.q & (~id_valid.q | id_fire));
+    Sig fetch_ready =
+        b.named("fetch_ready", (~if_valid.q | if_advance) & ~flush_any);
+    Sig fetch_fire = b.named("fetch_fire", fetch_valid & fetch_ready);
+
+    b.when(fetch_fire);
+    b.assign(if_valid, L1(true));
+    b.assign(if_instr, ifr);
+    b.assign(if_pc, pc_ctr.q);
+    b.assign(pc_ctr, pc_ctr.q + L(kPcW, 1));
+    b.elseWhen(if_advance | killed(if_pc.q));
+    b.assign(if_valid, L1(false));
+    b.end();
+
+    b.when(if_advance & ~killed(if_pc.q) & ~flush_any);
+    b.assign(id_valid, L1(true));
+    b.assign(id_instr, if_instr.q);
+    b.assign(id_pc, if_pc.q);
+    b.elseWhen(id_fire | killed(id_pc.q));
+    b.assign(id_valid, L1(false));
+    b.end();
+
+    // =================== Issue (operand read) ==========================
+    b.when(id_fire);
+    b.assign(iss_active, L1(true));
+    b.assign(iss_pc, id_pc.q);
+    b.assign(iss_cls, cls);
+    b.assign(iss_subop, eff_subop);
+    b.assign(iss_rd, rd);
+    b.assign(iss_we, id_we);
+    b.assign(iss_imm, imm);
+    b.assign(iss_a, b.memRead(arf, rs1));
+    b.assign(iss_b, b.memRead(arf, rs2));
+    b.otherwise();
+    b.assign(iss_active, L1(false));
+    b.end();
+    // A flush invalidates whatever sits at issue.
+    b.when(killed(iss_pc.q));
+    b.assign(iss_active, L1(false));
+    b.end();
+
+    Sig iss_live = b.named("iss_live", iss_active.q & ~killed(iss_pc.q));
+    Sig imm8 = iss_imm.q.zext(kData);
+
+    // =================== ALU capture & completion ======================
+    Sig alu_capture = b.named(
+        "alu_capture",
+        iss_live & (iss_holds(kClsAluReg) | iss_holds(kClsAluImm) |
+                    iss_holds(kClsBranch) | iss_holds(kClsJumpSys)));
+    b.when(alu_capture);
+    b.assign(alu_busy, L1(true));
+    b.assign(alu_pc, iss_pc.q);
+    b.assign(alu_cls, iss_cls.q);
+    b.assign(alu_subop, iss_subop.q);
+    b.assign(alu_a, iss_a.q);
+    b.assign(alu_b, b.mux(iss_holds(kClsAluImm), imm8, iss_b.q));
+    b.assign(alu_imm, iss_imm.q);
+    b.otherwise();
+    b.assign(alu_busy, L1(false));
+    b.end();
+
+    // ALU datapath (evaluated during the aluU cycle).
+    Sig sh = alu_b.q.slice(0, 3);
+    Sig sra_fill =
+        b.mux(alu_a.q.bit(7), ~b.shr(L(kData, 0xff), sh), L(kData, 0));
+    Sig alu_out = L(kData, 0);
+    {
+        auto pick = [&](uint64_t op, Sig v) {
+            alu_out = b.mux(alu_subop.q == L(4, op), v, alu_out);
+        };
+        pick(kAluAdd, alu_a.q + alu_b.q);
+        pick(kAluSub, alu_a.q - alu_b.q);
+        pick(kAluSll, b.shl(alu_a.q, sh));
+        pick(kAluSlt, (alu_a.q < alu_b.q).zext(kData));
+        pick(kAluSltu, (alu_a.q < alu_b.q).zext(kData));
+        pick(kAluXor, alu_a.q ^ alu_b.q);
+        pick(kAluSrl, b.shr(alu_a.q, sh));
+        pick(kAluSra, b.shr(alu_a.q, sh) | sra_fill);
+        pick(kAluOr, alu_a.q | alu_b.q);
+        pick(kAluAnd, alu_a.q & alu_b.q);
+        pick(kAluLui, alu_b.q);
+        pick(kAluAuipc, alu_pc.q.zext(kData) + alu_b.q);
+    }
+    Sig link = (alu_pc.q + L(kPcW, 1)).zext(kData);
+    Sig alu_res = b.named(
+        "alu_res",
+        b.mux(alu_cls.q == L(3, kClsJumpSys), b.mux(alu_is_jal | alu_is_jalr,
+                                                    link, L(kData, 0)),
+              b.mux(alu_cls.q == L(3, kClsBranch), L(kData, 0), alu_out)));
+    Sig alu_done = b.named("alu_done", alu_busy.q);
+
+    // =================== Multiplier =====================================
+    Sig p16 = iss_a.q.zext(16) * iss_b.q.zext(16);
+    Sig mul_low = p16.slice(0, 8);
+    Sig mul_high = p16.slice(8, 8);
+    Sig mul_sel_high = (iss_subop.q == L(4, 1)) | (iss_subop.q == L(4, 2)) |
+                       (iss_subop.q == L(4, 3));
+    Sig mul_capture = b.named("mul_capture", iss_live & iss_holds(kClsMul));
+    Sig zero_op = (iss_a.q == L(kData, 0)) | (iss_b.q == L(kData, 0));
+    Sig mul_lat_new = cfg.withZeroSkipMul
+                          ? b.mux(zero_op, L(2, 0), L(2, 3)) // 1 or 4 cycles
+                          : L(2, 1);                         // fixed 2
+    Sig mul_done = b.named("mul_done", mul_busy.q & (mul_cnt.q == mul_lat.q));
+    b.when(mul_capture);
+    b.assign(mul_busy, L1(true));
+    b.assign(mul_pc, iss_pc.q);
+    b.assign(mul_res, b.mux(mul_sel_high, mul_high, mul_low));
+    b.assign(mul_cnt, L(2, 0));
+    b.assign(mul_lat, mul_lat_new);
+    b.elseWhen(mul_done);
+    b.assign(mul_busy, L1(false));
+    b.end();
+    b.when(mul_busy.q & ~mul_done & ~mul_capture);
+    b.assign(mul_cnt, mul_cnt.q + L(2, 1));
+    b.end();
+
+    // =================== Serial divider =================================
+    // Start position: the dividend's MSB index (leading-zero skip).
+    Sig msb_idx = L(3, 0);
+    for (unsigned i = 1; i < kData; i++)
+        msb_idx = b.mux(iss_a.q.bit(i), L(3, i), msb_idx);
+    Sig div_capture = b.named("div_capture", iss_live & iss_holds(kClsDiv));
+    b.when(div_capture);
+    b.assign(div_busy, L1(true));
+    b.assign(div_pc, iss_pc.q);
+    b.assign(div_num, iss_a.q);
+    b.assign(div_den, iss_b.q);
+    b.assign(div_quo, L(kData, 0));
+    b.assign(div_rem, L(9, 0));
+    b.assign(div_i, msb_idx);
+    b.assign(div_isrem, iss_subop.q.bit(1));
+    b.end();
+    // One restoring-division step per busy cycle, bit div_i.
+    Sig num_bit = b.shr(div_num.q, div_i.q.zext(kData)).bit(0);
+    Sig rem_sh = b.cat(div_rem.q.slice(0, 8), num_bit);
+    Sig den9 = div_den.q.zext(9);
+    Sig ge = ~(rem_sh < den9); // rem' >= den
+    Sig rem_next = b.mux(ge, rem_sh - den9, rem_sh);
+    Sig quo_bit = b.shl(L(kData, 1), div_i.q.zext(kData));
+    Sig quo_next = div_quo.q | b.mux(ge, quo_bit, L(kData, 0));
+    Sig div_done = b.named("div_done", div_busy.q & (div_i.q == L(3, 0)));
+    b.when(div_busy.q & ~div_capture);
+    b.assign(div_rem, rem_next);
+    b.assign(div_quo, quo_next);
+    b.when(~div_done);
+    b.assign(div_i, div_i.q - L(3, 1));
+    b.otherwise();
+    b.assign(div_busy, L1(false));
+    b.end();
+    b.end();
+    Sig div_by_zero = div_den.q == L(kData, 0);
+    Sig div_res = b.named(
+        "div_res",
+        b.mux(div_isrem.q, b.mux(div_by_zero, div_num.q, rem_next.slice(0, 8)),
+              b.mux(div_by_zero, L(kData, 0xff), quo_next)));
+
+    // =================== Load unit ======================================
+    Sig ld_sum = iss_a.q + imm8;
+    Sig ld_addr_new = ld_sum.slice(0, kAddrW);
+    Sig ld_off_new = ld_sum.slice(0, 2);
+    Sig stb_match_new = b.named(
+        "ld_match_new",
+        (sstb_valid.q & (sstb_addr.q.slice(0, 2) == ld_off_new)) |
+            (cstb_valid.q & (cstb_addr.q.slice(0, 2) == ld_off_new)));
+    Sig ld_capture = b.named("ld_capture", iss_live & iss_holds(kClsLoad));
+    // Stall re-check for a load parked in the LSQ.
+    Sig ld_off_cur = ld_addr.q.slice(0, 2);
+    Sig stb_match_cur = b.named(
+        "ld_match_cur",
+        (sstb_valid.q & (sstb_addr.q.slice(0, 2) == ld_off_cur)) |
+            (cstb_valid.q & (cstb_addr.q.slice(0, 2) == ld_off_cur)));
+    Sig ld_unstall = b.named("ld_unstall",
+                             lsq_valid.q & ld_stalled.q & ~stb_match_cur);
+    b.when(ld_capture);
+    b.assign(ld_pc, iss_pc.q);
+    b.assign(ld_addr, ld_addr_new);
+    b.when(stb_match_new);
+    b.assign(lsq_valid, L1(true));
+    b.assign(ld_stalled, L1(true));
+    b.otherwise();
+    b.assign(ld_fin, L1(true));
+    b.end();
+    b.end();
+    b.when(ld_unstall);
+    b.assign(lsq_valid, L1(false));
+    b.assign(ld_stalled, L1(false));
+    b.assign(ld_fin, L1(true));
+    b.end();
+    b.when(ld_fin.q & ~ld_capture & ~ld_unstall);
+    b.assign(ld_fin, L1(false));
+    b.end();
+    Sig ld_done = b.named("ld_done", ld_fin.q);
+    Sig ld_res = b.memRead(amem, ld_addr.q);
+
+    // The exception flush clears the load unit and the execution units:
+    // everything in flight is younger than the excepting instruction
+    // (in-order commit).
+    b.when(flush_ex);
+    b.assign(lsq_valid, L1(false));
+    b.assign(ld_stalled, L1(false));
+    b.assign(ld_fin, L1(false));
+    b.assign(alu_busy, L1(false));
+    b.assign(mul_busy, L1(false));
+    b.assign(div_busy, L1(false));
+    b.end();
+
+    // =================== Store path ====================================
+    Sig st_capture = b.named("st_capture", iss_live & iss_holds(kClsStore));
+    b.when(st_capture);
+    b.assign(sstb_valid, L1(true));
+    b.assign(sstb_pc, iss_pc.q);
+    b.assign(sstb_addr, ld_sum.slice(0, kAddrW));
+    b.assign(sstb_data, iss_b.q);
+    b.end();
+    // Exception flush clears the (younger, uncommitted) store.
+    b.when(flush_ex);
+    b.assign(sstb_valid, L1(false));
+    b.end();
+    // Branch flush of a younger speculative store.
+    b.when(flush_br & younger_than_branch(sstb_pc.q) & sstb_valid.q);
+    b.assign(sstb_valid, L1(false));
+    b.end();
+
+    // Committed-store drain: the single memory port prioritizes loads
+    // (the ST_comSTB channel, §VII-A1): the drain only starts on a cycle
+    // after which no load will occupy the port.
+    Sig ld_fin_next = b.named(
+        "ld_fin_next", (ld_capture & ~stb_match_new) | ld_unstall);
+    Sig memrq_start = b.named("memrq_start", cstb_valid.q & ~memrq_active.q &
+                                                 ~ld_fin_next);
+    b.when(memrq_start);
+    b.assign(memrq_active, L1(true));
+    b.elseWhen(memrq_active.q);
+    b.assign(memrq_active, L1(false));
+    b.assign(cstb_valid, L1(false));
+    b.end();
+    b.memWrite(amem, memrq_active.q, cstb_addr.q, cstb_data.q);
+
+    // =================== Completion -> scoreboard =======================
+    struct Completion
+    {
+        Sig valid, pc, res, excp;
+    };
+    std::vector<Completion> compl_srcs = {
+        {b.named("c_alu", alu_done & ~killed(alu_pc.q)), alu_pc.q, alu_res,
+         alu_excp},
+        {b.named("c_mul", mul_done & ~killed(mul_pc.q)), mul_pc.q,
+         mul_res.q, L1(false)},
+        {b.named("c_div", div_done & ~killed(div_pc.q)), div_pc.q, div_res,
+         L1(false)},
+        {b.named("c_ld", ld_done & ~flush_ex), ld_pc.q, ld_res, L1(false)},
+        {b.named("c_st", st_capture), iss_pc.q, L(kData, 0), L1(false)},
+    };
+
+    // Scoreboard next-state: collapse/alloc first, then completions.
+    Sig alloc = id_fire; // allocation happens with issue fire
+    Sig alloc_to_e0 = ~e0_occ | (pop & ~e1_occ);
+    struct ScbNext
+    {
+        Sig state, pc, rd, we, excp, st, res;
+    };
+    ScbNext nxt[2];
+    for (int e = 0; e < 2; e++) {
+        // Base: shift on pop.
+        Sig state = scb_state[e].q, pcv = scb_pc[e].q, rdv = scb_rd[e].q,
+            wev = scb_we[e].q, ex = scb_excp[e].q, st = scb_st[e].q,
+            res = scb_res[e].q;
+        if (e == 0) {
+            state = b.mux(pop, scb_state[1].q, state);
+            pcv = b.mux(pop, scb_pc[1].q, pcv);
+            rdv = b.mux(pop, scb_rd[1].q, rdv);
+            wev = b.mux(pop, scb_we[1].q, wev);
+            ex = b.mux(pop, scb_excp[1].q, ex);
+            st = b.mux(pop, scb_st[1].q, st);
+            res = b.mux(pop, scb_res[1].q, res);
+        } else {
+            state = b.mux(pop, L(2, 0), state);
+        }
+        // Allocation of the newly issued instruction.
+        Sig here = e == 0 ? alloc & alloc_to_e0 : alloc & ~alloc_to_e0;
+        state = b.mux(here, L(2, 1), state);
+        pcv = b.mux(here, id_pc.q, pcv);
+        rdv = b.mux(here, rd, rdv);
+        wev = b.mux(here, id_we, wev);
+        ex = b.mux(here, L1(false), ex);
+        st = b.mux(here, is_store, st);
+        res = b.mux(here, L(kData, 0), res);
+        nxt[e] = {state, pcv, rdv, wev, ex, st, res};
+    }
+    // Apply completions (match by PC against the post-shift contents).
+    for (int e = 0; e < 2; e++) {
+        Sig state = nxt[e].state, res = nxt[e].res, ex = nxt[e].excp;
+        for (const auto &c : compl_srcs) {
+            Sig hit = c.valid & (nxt[e].pc == c.pc) &
+                      (state == L(2, 1));
+            state = b.mux(hit, L(2, 2), state);
+            res = b.mux(hit, c.res, res);
+            ex = b.mux(hit, c.excp, ex);
+        }
+        nxt[e].state = state;
+        nxt[e].res = res;
+        nxt[e].excp = ex;
+    }
+    // Flushes kill younger entries.
+    for (int e = 0; e < 2; e++) {
+        Sig kill = flush_ex | (flush_br & younger_than_branch(nxt[e].pc) &
+                               ~(nxt[e].pc == flush_pc));
+        nxt[e].state = b.mux(kill, L(2, 0), nxt[e].state);
+        b.assign(scb_state[e], nxt[e].state);
+        b.assign(scb_pc[e], nxt[e].pc);
+        b.assign(scb_rd[e], nxt[e].rd);
+        b.assign(scb_we[e], nxt[e].we);
+        b.assign(scb_excp[e], nxt[e].excp);
+        b.assign(scb_st[e], nxt[e].st);
+        b.assign(scb_res[e], nxt[e].res);
+    }
+
+    // =================== Retire ========================================
+    b.when(pop);
+    b.assign(ret_state, b.mux(scb_excp[0].q, L(2, 2), L(2, 1)));
+    b.assign(ret_pc, scb_pc[0].q);
+    b.assign(ret_rd, scb_rd[0].q);
+    b.assign(ret_we, scb_we[0].q);
+    b.assign(ret_st, scb_st[0].q);
+    b.assign(ret_res, scb_res[0].q);
+    b.otherwise();
+    b.assign(ret_state, L(2, 0));
+    b.end();
+    // Store commit: move speculative entry to the committed STB.
+    b.when(pop & scb_st[0].q & ~scb_excp[0].q);
+    b.assign(cstb_valid, L1(true));
+    b.assign(cstb_pc, sstb_pc.q);
+    b.assign(cstb_addr, sstb_addr.q);
+    b.assign(cstb_data, sstb_data.q);
+    b.assign(sstb_valid, L1(false));
+    b.end();
+    // Architectural register write at commit.
+    Sig ret_cmt = ret_state.q == L(2, 1);
+    b.memWrite(arf, ret_cmt & ret_we.q, ret_rd.q, ret_res.q);
+
+    Sig commit = b.named("commit", ret_cmt | flush_ex);
+
+    // =================== Metadata (§V-A, Table II) ======================
+    info.ifr = ifr.id;
+    info.fetchValid = fetch_valid.id;
+    info.fetchReady = fetch_ready.id;
+    info.fetchPc = pc_ctr.q.id;
+    info.commit = commit.id;
+    info.commitPc = ret_pc.q.id;
+    info.opcodeLo = 0;
+    info.opcodeWidth = 7;
+    info.layout = {7, 2, 9, 2, 11, 2, 13, 3};
+    info.instrs = mcvaInstrTable();
+    info.fsms = {
+        {"IF", if_pc.q.id, {if_valid.q.id}, {{0}}, {}},
+        {"ID", id_pc.q.id, {id_valid.q.id}, {{0}}, {}},
+        {"issue", iss_pc.q.id, {iss_active.q.id}, {{0}}, {}},
+        {"aluU", alu_pc.q.id, {alu_busy.q.id}, {{0}}, {}},
+        {"mulU", mul_pc.q.id, {mul_busy.q.id}, {{0}}, {}},
+        {"divU", div_pc.q.id, {div_busy.q.id}, {{0}}, {}},
+        {"LSQ", ld_pc.q.id, {lsq_valid.q.id}, {{0}}, {}},
+        {"ldStall", ld_pc.q.id, {ld_stalled.q.id}, {{0}}, {}},
+        {"ldFin", ld_pc.q.id, {ld_fin.q.id}, {{0}}, {}},
+        {"scb0",
+         scb_pc[0].q.id,
+         {scb_state[0].q.id},
+         {{0}, {3}},
+         {{{1}, "scb0Iss"}, {{2}, "scb0Fin"}}},
+        {"scb1",
+         scb_pc[1].q.id,
+         {scb_state[1].q.id},
+         {{0}, {3}},
+         {{{1}, "scb1Iss"}, {{2}, "scb1Fin"}}},
+        {"retire",
+         ret_pc.q.id,
+         {ret_state.q.id},
+         {{0}, {3}},
+         {{{1}, "scbCmt"}, {{2}, "scbExcp"}}},
+        {"specSTB", sstb_pc.q.id, {sstb_valid.q.id}, {{0}}, {}},
+        {"comSTB", cstb_pc.q.id, {cstb_valid.q.id}, {{0}}, {}},
+        {"memRq", cstb_pc.q.id, {memrq_active.q.id}, {{0}}, {}},
+    };
+    info.rs1Reg = iss_a.q.id;
+    info.rs2Reg = iss_b.q.id;
+    info.issueOccupied = iss_active.q.id;
+    info.issuePcr = iss_pc.q.id;
+    for (const auto &w : arf.words)
+        info.arfRegs.push_back(w.q.id);
+    for (const auto &w : amem.words)
+        info.amemRegs.push_back(w.q.id);
+    info.completenessBound = 30;
+    info.pcWidth = kPcW;
+    return duc;
+}
+
+} // namespace rmp::designs

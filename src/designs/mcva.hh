@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MiniCVA: the scaled CVA6 analog (DESIGN.md §1).
+ *
+ * A 6-stage in-order single-issue core with speculation and out-of-order
+ * completion, mirroring the microarchitectural structure of the paper's
+ * CVA6 case study (§VI):
+ *
+ *   IF buffer -> ID -> issue -> {aluU | mulU | divU | LSU} -> 2-entry
+ *   FIFO scoreboard (collapsing) -> retire (scbCmt/scbExcp) ->
+ *   [stores: specSTB -> comSTB -> memRq]
+ *
+ * Channels reproduced from the paper:
+ *  - serial divider with dividend-dependent latency (1..8 cycles; the
+ *    paper's 1..66-cycle divider, §VII-A1),
+ *  - optional zero-skip multiplier (CVA6-MUL, Fig. 1): 1 cycle when an
+ *    operand is zero, else 4,
+ *  - optional operand packing (CVA6-OP, Fig. 2): back-to-back identical
+ *    narrow-operand ALU ops share an ID slot,
+ *  - store-to-load page-offset stalling (Fig. 4b / LD_issue in Fig. 5),
+ *  - committed-store drain vs younger-load port priority — the paper's
+ *    novel ST_comSTB channel enabling speculative interference (§VII-A1),
+ *  - predict-not-taken branches and predicted JALR with operand-dependent
+ *    flush (branches/JALR are dynamic transmitters; JAL is not),
+ *  - the three CVA6 control-flow bugs (§VII-B2): JALR missing its target
+ *    alignment check, JAL checking only 2-byte alignment, and branches
+ *    raising misaligned-target exceptions regardless of outcome
+ *    (present by default; fixAlignmentBugs enables correct behavior),
+ *  - the SCB counter-width bug (§VII-B2): withScbCounterBug makes the
+ *    occupancy check use a truncated counter, so one entry is never used.
+ *
+ * Scaling (documented in DESIGN.md): 8-bit datapath, 4 architectural
+ * registers, 8-word memory, 2-entry scoreboard, 1-entry speculative and
+ * committed store buffers.
+ */
+
+#ifndef DESIGNS_MCVA_HH
+#define DESIGNS_MCVA_HH
+
+#include "designs/harness.hh"
+
+namespace rmp::designs
+{
+
+/** MiniCVA configuration. */
+struct McvaConfig
+{
+    /** CVA6-MUL: zero-skip multiplier (1 vs 4 cycles). */
+    bool withZeroSkipMul = false;
+    /** CVA6-OP: operand packing for back-to-back narrow ALU ops. */
+    bool withOperandPacking = false;
+    /** Fix the three control-flow alignment bugs (§VII-B2). */
+    bool fixAlignmentBugs = false;
+    /** Plant the SCB counter-width bug (§VII-B2). */
+    bool withScbCounterBug = false;
+};
+
+/** Build a MiniCVA DUV (unfinalized; feed it to Harness). */
+DuvUnderConstruction buildMcva(const McvaConfig &cfg = {});
+
+} // namespace rmp::designs
+
+#endif // DESIGNS_MCVA_HH

@@ -1,0 +1,129 @@
+#include "designs/mcva_isa.hh"
+
+namespace rmp::designs
+{
+
+using uhb::InstrClass;
+using uhb::InstrSpec;
+
+std::vector<InstrSpec>
+mcvaInstrTable()
+{
+    std::vector<InstrSpec> t;
+    auto add = [&](const char *name, uint64_t cls, uint64_t subop,
+                   InstrClass ic, bool rs1, bool rs2) {
+        t.push_back({name, mcvaOpcode(cls, subop), ic, rs1, rs2});
+    };
+
+    // --- Class 0: register-register ALU (15, incl. W forms) ----------
+    add("ADD", kClsAluReg, kAluAdd, InstrClass::Alu, true, true);
+    add("SUB", kClsAluReg, kAluSub, InstrClass::Alu, true, true);
+    add("SLL", kClsAluReg, kAluSll, InstrClass::Alu, true, true);
+    add("SLT", kClsAluReg, kAluSlt, InstrClass::Alu, true, true);
+    add("SLTU", kClsAluReg, kAluSltu, InstrClass::Alu, true, true);
+    add("XOR", kClsAluReg, kAluXor, InstrClass::Alu, true, true);
+    add("SRL", kClsAluReg, kAluSrl, InstrClass::Alu, true, true);
+    add("SRA", kClsAluReg, kAluSra, InstrClass::Alu, true, true);
+    add("OR", kClsAluReg, kAluOr, InstrClass::Alu, true, true);
+    add("AND", kClsAluReg, kAluAnd, InstrClass::Alu, true, true);
+    // W forms reuse base subops shifted into 10..14; decode maps them
+    // back onto the base operation (see mcva.cc).
+    add("ADDW", kClsAluReg, 10, InstrClass::Alu, true, true);
+    add("SUBW", kClsAluReg, 11, InstrClass::Alu, true, true);
+    add("SLLW", kClsAluReg, 12, InstrClass::Alu, true, true);
+    add("SRLW", kClsAluReg, 13, InstrClass::Alu, true, true);
+    add("SRAW", kClsAluReg, 14, InstrClass::Alu, true, true);
+
+    // --- Class 1: immediate ALU + LUI/AUIPC (15) ----------------------
+    add("ADDI", kClsAluImm, kAluAdd, InstrClass::Alu, true, false);
+    add("SLTI", kClsAluImm, kAluSlt, InstrClass::Alu, true, false);
+    add("SLTIU", kClsAluImm, kAluSltu, InstrClass::Alu, true, false);
+    add("XORI", kClsAluImm, kAluXor, InstrClass::Alu, true, false);
+    add("ORI", kClsAluImm, kAluOr, InstrClass::Alu, true, false);
+    add("ANDI", kClsAluImm, kAluAnd, InstrClass::Alu, true, false);
+    add("SLLI", kClsAluImm, kAluSll, InstrClass::Alu, true, false);
+    add("SRLI", kClsAluImm, kAluSrl, InstrClass::Alu, true, false);
+    add("SRAI", kClsAluImm, kAluSra, InstrClass::Alu, true, false);
+    add("LUI", kClsAluImm, kAluLui, InstrClass::Alu, false, false);
+    add("AUIPC", kClsAluImm, kAluAuipc, InstrClass::Alu, false, false);
+    add("ADDIW", kClsAluImm, 12, InstrClass::Alu, true, false);
+    add("SLLIW", kClsAluImm, 13, InstrClass::Alu, true, false);
+    add("SRLIW", kClsAluImm, 14, InstrClass::Alu, true, false);
+    add("SRAIW", kClsAluImm, 15, InstrClass::Alu, true, false);
+
+    // --- Class 2: multiplier (5) --------------------------------------
+    add("MUL", kClsMul, 0, InstrClass::Mul, true, true);
+    add("MULH", kClsMul, 1, InstrClass::Mul, true, true);
+    add("MULHSU", kClsMul, 2, InstrClass::Mul, true, true);
+    add("MULHU", kClsMul, 3, InstrClass::Mul, true, true);
+    add("MULW", kClsMul, 4, InstrClass::Mul, true, true);
+
+    // --- Class 3: serial divider (8) ----------------------------------
+    add("DIV", kClsDiv, 0, InstrClass::DivRem, true, true);
+    add("DIVU", kClsDiv, 1, InstrClass::DivRem, true, true);
+    add("REM", kClsDiv, 2, InstrClass::DivRem, true, true);
+    add("REMU", kClsDiv, 3, InstrClass::DivRem, true, true);
+    add("DIVW", kClsDiv, 4, InstrClass::DivRem, true, true);
+    add("DIVUW", kClsDiv, 5, InstrClass::DivRem, true, true);
+    add("REMW", kClsDiv, 6, InstrClass::DivRem, true, true);
+    add("REMUW", kClsDiv, 7, InstrClass::DivRem, true, true);
+
+    // --- Class 4: loads (7) --------------------------------------------
+    add("LB", kClsLoad, 0, InstrClass::Load, true, false);
+    add("LH", kClsLoad, 1, InstrClass::Load, true, false);
+    add("LW", kClsLoad, 2, InstrClass::Load, true, false);
+    add("LD", kClsLoad, 3, InstrClass::Load, true, false);
+    add("LBU", kClsLoad, 4, InstrClass::Load, true, false);
+    add("LHU", kClsLoad, 5, InstrClass::Load, true, false);
+    add("LWU", kClsLoad, 6, InstrClass::Load, true, false);
+
+    // --- Class 5: stores (4) --------------------------------------------
+    add("SB", kClsStore, 0, InstrClass::Store, true, true);
+    add("SH", kClsStore, 1, InstrClass::Store, true, true);
+    add("SW", kClsStore, 2, InstrClass::Store, true, true);
+    add("SD", kClsStore, 3, InstrClass::Store, true, true);
+
+    // --- Class 6: branches (6) ------------------------------------------
+    add("BEQ", kClsBranch, kBrEq, InstrClass::Branch, true, true);
+    add("BNE", kClsBranch, kBrNe, InstrClass::Branch, true, true);
+    add("BLT", kClsBranch, kBrLt, InstrClass::Branch, true, true);
+    add("BGE", kClsBranch, kBrGe, InstrClass::Branch, true, true);
+    add("BLTU", kClsBranch, kBrLtu, InstrClass::Branch, true, true);
+    add("BGEU", kClsBranch, kBrGeu, InstrClass::Branch, true, true);
+
+    // --- Class 7: jumps + system (12) ------------------------------------
+    add("JAL", kClsJumpSys, kJmpJal, InstrClass::Jump, false, false);
+    add("JALR", kClsJumpSys, kJmpJalr, InstrClass::Jump, true, false);
+    add("FENCE", kClsJumpSys, kSysFence, InstrClass::Alu, false, false);
+    add("FENCE.I", kClsJumpSys, kSysFenceI, InstrClass::Alu, false, false);
+    add("ECALL", kClsJumpSys, kSysEcall, InstrClass::Alu, false, false);
+    add("EBREAK", kClsJumpSys, kSysEbreak, InstrClass::Alu, false, false);
+    add("CSRRW", kClsJumpSys, kSysCsrBase + 0, InstrClass::Alu, true,
+        false);
+    add("CSRRS", kClsJumpSys, kSysCsrBase + 1, InstrClass::Alu, true,
+        false);
+    add("CSRRC", kClsJumpSys, kSysCsrBase + 2, InstrClass::Alu, true,
+        false);
+    add("CSRRWI", kClsJumpSys, kSysCsrBase + 3, InstrClass::Alu, false,
+        false);
+    add("CSRRSI", kClsJumpSys, kSysCsrBase + 4, InstrClass::Alu, false,
+        false);
+    add("CSRRCI", kClsJumpSys, kSysCsrBase + 5, InstrClass::Alu, false,
+        false);
+
+    return t;
+}
+
+std::vector<std::string>
+mcvaArtifactSubset()
+{
+    return {"ADD", "DIV", "LW", "SW", "BEQ"};
+}
+
+std::vector<std::string>
+mcvaClassRepresentatives()
+{
+    return {"ADD", "MUL", "DIV", "LW", "SW", "BEQ", "JAL", "JALR"};
+}
+
+} // namespace rmp::designs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The RV-lite ISA: 72 instructions mirroring the RV64IM instruction count
+ * and class structure of the paper's CVA6 case study (§VI), mapped onto
+ * MiniCVA's scaled datapath.
+ *
+ * Encoding (16-bit IFR word):
+ *   [6:0]  opcode  — [6:4] = class, [3:0] = subop
+ *   [8:7]  rd
+ *   [10:9] rs1
+ *   [12:11] rs2
+ *   [15:13] imm (3 bits; byte-granular for control-flow targets)
+ *
+ * Classes: 0 ALU-reg, 1 ALU-imm (incl. LUI/AUIPC), 2 MUL, 3 DIV/REM,
+ * 4 LOAD, 5 STORE, 6 BRANCH, 7 JUMP/SYSTEM.
+ *
+ * W-form instructions collapse onto their base-form subops: on the scaled
+ * 8-bit datapath the 32/64-bit distinction has no analog, but keeping the
+ * opcodes preserves the paper's per-class instruction counts (e.g. eight
+ * DIV/REM variants, seven loads, four stores — §VII-A1).
+ */
+
+#ifndef DESIGNS_MCVA_ISA_HH
+#define DESIGNS_MCVA_ISA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "uhb/duv.hh"
+
+namespace rmp::designs
+{
+
+/** Instruction classes as encoded in opcode[6:4]. */
+enum McvaClass : uint64_t
+{
+    kClsAluReg = 0,
+    kClsAluImm = 1,
+    kClsMul = 2,
+    kClsDiv = 3,
+    kClsLoad = 4,
+    kClsStore = 5,
+    kClsBranch = 6,
+    kClsJumpSys = 7,
+};
+
+/** ALU subops (shared by reg and imm forms). */
+enum McvaAluOp : uint64_t
+{
+    kAluAdd = 0,
+    kAluSub = 1,
+    kAluSll = 2,
+    kAluSlt = 3,
+    kAluSltu = 4,
+    kAluXor = 5,
+    kAluSrl = 6,
+    kAluSra = 7,
+    kAluOr = 8,
+    kAluAnd = 9,
+    kAluLui = 10,   ///< result = imm
+    kAluAuipc = 11, ///< result = pc + imm
+};
+
+/** Branch subops. */
+enum McvaBrOp : uint64_t
+{
+    kBrEq = 0,
+    kBrNe = 1,
+    kBrLt = 2,
+    kBrGe = 3,
+    kBrLtu = 4,
+    kBrGeu = 5,
+};
+
+/** Jump/system subops. */
+enum McvaJmpOp : uint64_t
+{
+    kJmpJal = 0,
+    kJmpJalr = 1,
+    kSysFence = 2,
+    kSysFenceI = 3,
+    kSysEcall = 4,  ///< raises an exception at retire
+    kSysEbreak = 5, ///< raises an exception at retire
+    kSysCsrBase = 6, ///< six CSR ops occupy subops 6..11 (NOP semantics)
+};
+
+/** Compose an opcode from class and subop. */
+constexpr uint64_t
+mcvaOpcode(uint64_t cls, uint64_t subop)
+{
+    return (cls << 4) | subop;
+}
+
+/** The full 72-instruction table. */
+std::vector<uhb::InstrSpec> mcvaInstrTable();
+
+/** The artifact's 5-instruction subset: ADD, DIV, LW, SW, BEQ (App. I). */
+std::vector<std::string> mcvaArtifactSubset();
+
+/** One representative instruction per transmitter class (for Fig. 8). */
+std::vector<std::string> mcvaClassRepresentatives();
+
+} // namespace rmp::designs
+
+#endif // DESIGNS_MCVA_ISA_HH

@@ -1,0 +1,179 @@
+#include "designs/tiny3.hh"
+
+#include "common/logging.hh"
+#include "designs/dutil.hh"
+
+namespace rmp::designs
+{
+
+using namespace uhb;
+
+DuvUnderConstruction
+buildTiny3(const Tiny3Config &cfg)
+{
+    DuvUnderConstruction duc;
+    duc.design = std::make_shared<Design>(cfg.withZeroSkip ? "tiny3-zs"
+                                                           : "tiny3");
+    duc.builder = std::make_shared<Builder>(*duc.design);
+    Builder &b = *duc.builder;
+    DuvInfo &info = duc.info;
+    info.design = duc.design;
+    info.name = duc.design->name();
+
+    constexpr unsigned kData = 8; // datapath width
+    constexpr unsigned kPcW = 4;  // fetch PC counter width
+    constexpr uint64_t kOpNop = 0, kOpAdd = 1, kOpSub = 2, kOpMul = 3;
+
+    // ---- Frontend interface -----------------------------------------
+    Sig fetch_valid = b.input("fetch_valid", 1);
+    Sig ifr = b.input("ifr", 10);
+
+    RegSig pc_ctr = b.regh("pc_ctr", kPcW, 0);
+
+    // ---- IF buffer -----------------------------------------------------
+    RegSig if_valid = b.regh("if_valid", 1, 0);
+    RegSig if_instr = b.regh("if_instr", 10, 0);
+    RegSig if_pc = b.regh("if_pc", kPcW, 0);
+
+    // ---- EX stage -------------------------------------------------------
+    RegSig ex_valid = b.regh("ex_valid", 1, 0);
+    RegSig ex_op = b.regh("ex_op", 4, 0);
+    RegSig ex_rd = b.regh("ex_rd", 2, 0);
+    RegSig ex_pc = b.regh("ex_pc", kPcW, 0);
+    RegSig ex_a = b.regh("ex_a", kData, 0);
+    RegSig ex_b = b.regh("ex_b", kData, 0);
+    RegSig ex_cnt = b.regh("ex_cnt", 1, 0);
+    RegSig ex_we = b.regh("ex_we", 1, 0);
+    RegSig mulu_busy = b.regh("mulu_busy", 1, 0);
+
+    // ---- WB stage ---------------------------------------------------
+    RegSig wb_valid = b.regh("wb_valid", 1, 0);
+    RegSig wb_we = b.regh("wb_we", 1, 0);
+    RegSig wb_rd = b.regh("wb_rd", 2, 0);
+    RegSig wb_val = b.regh("wb_val", kData, 0);
+    RegSig wb_pc = b.regh("wb_pc", kPcW, 0);
+
+    // ---- Architectural register file ---------------------------------
+    // Symbolically initialized at reset, as in the paper's setup (§V-B).
+    MemArray arf = b.mem("arf", 4, kData);
+    symbolicInit(b, arf, "arf");
+
+    // ---- Control ------------------------------------------------------
+    Sig is_mul = ex_op.q == b.lit(4, kOpMul);
+    Sig zero_skip = cfg.withZeroSkip
+                        ? (ex_a.q == b.lit(kData, 0))
+                        : b.lit1(false);
+    // A MUL occupies EX for 2 cycles (1 if zero-skip applies); everything
+    // else finishes in 1 cycle.
+    Sig ex_done = b.named(
+        "ex_done",
+        ex_valid.q &
+            b.mux(is_mul, (ex_cnt.q == b.lit(1, 1)) | zero_skip,
+                  b.lit1(true)));
+    Sig ex_accept = b.named("ex_accept", ~ex_valid.q | ex_done);
+    Sig if_advance = b.named("if_advance", if_valid.q & ex_accept);
+    Sig fetch_ready = b.named("fetch_ready", ~if_valid.q | if_advance);
+    Sig fetch_fire = b.named("fetch_fire", fetch_valid & fetch_ready);
+
+    // ---- IF buffer update ------------------------------------------
+    b.when(fetch_fire);
+    b.assign(if_valid, b.lit1(true));
+    b.assign(if_instr, ifr);
+    b.assign(if_pc, pc_ctr.q);
+    b.assign(pc_ctr, pc_ctr.q + b.lit(kPcW, 1));
+    b.elseWhen(if_advance);
+    b.assign(if_valid, b.lit1(false));
+    b.end();
+
+    // ---- Operand read with bypass (EX-done result, then WB, then ARF).
+    Sig rs1 = if_instr.q.slice(6, 2);
+    Sig rs2 = if_instr.q.slice(8, 2);
+    Sig ex_add = ex_a.q + ex_b.q;
+    Sig ex_sub = ex_a.q - ex_b.q;
+    Sig ex_mul = ex_a.q * ex_b.q;
+    Sig ex_result = b.named(
+        "ex_result",
+        b.mux(ex_op.q == b.lit(4, kOpAdd), ex_add,
+              b.mux(ex_op.q == b.lit(4, kOpSub), ex_sub, ex_mul)));
+    auto read_operand = [&](Sig rs) {
+        Sig val = b.memRead(arf, rs);
+        val = b.mux(wb_valid.q & wb_we.q & (wb_rd.q == rs), wb_val.q, val);
+        val = b.mux(ex_done & ex_we.q & (ex_rd.q == rs), ex_result, val);
+        return val;
+    };
+
+    // ---- IF -> EX hand-off --------------------------------------------
+    Sig if_op = if_instr.q.slice(0, 4);
+    b.when(if_advance);
+    b.assign(ex_valid, b.lit1(true));
+    b.assign(ex_op, if_op);
+    b.assign(ex_rd, if_instr.q.slice(4, 2));
+    b.assign(ex_pc, if_pc.q);
+    b.assign(ex_a, read_operand(rs1));
+    b.assign(ex_b, read_operand(rs2));
+    b.assign(ex_cnt, b.lit(1, 0));
+    b.assign(ex_we, ~(if_op == b.lit(4, kOpNop)));
+    b.assign(mulu_busy, if_op == b.lit(4, kOpMul));
+    b.elseWhen(ex_done);
+    b.assign(ex_valid, b.lit1(false));
+    b.assign(mulu_busy, b.lit1(false));
+    b.end();
+
+    // MUL occupancy counter (advances while not done, not handing off).
+    b.when(ex_valid.q & is_mul & ~ex_done);
+    b.assign(ex_cnt, b.lit(1, 1));
+    b.end();
+
+    // ---- EX -> WB hand-off -------------------------------------------
+    b.when(ex_done);
+    b.assign(wb_valid, b.lit1(true));
+    b.assign(wb_we, ex_we.q);
+    b.assign(wb_rd, ex_rd.q);
+    b.assign(wb_val, ex_result);
+    b.assign(wb_pc, ex_pc.q);
+    b.elseWhen(wb_valid.q);
+    b.assign(wb_valid, b.lit1(false));
+    b.end();
+
+    // ---- Commit + ARF write ------------------------------------------
+    Sig commit = b.named("commit", wb_valid.q);
+    b.memWrite(arf, wb_valid.q & wb_we.q, wb_rd.q, wb_val.q);
+
+    // ---- Metadata (§V-A) ------------------------------------------------
+    info.ifr = ifr.id;
+    info.fetchValid = fetch_valid.id;
+    info.fetchReady = fetch_ready.id;
+    info.fetchPc = pc_ctr.q.id;
+    info.commit = commit.id;
+    info.commitPc = wb_pc.q.id;
+    info.opcodeLo = 0;
+    info.opcodeWidth = 4;
+    info.layout = {4, 2, 6, 2, 8, 2, 0, 0};
+    info.instrs = {
+        {"NOP", kOpNop, InstrClass::Alu, false, false},
+        {"ADD", kOpAdd, InstrClass::Alu, true, true},
+        {"SUB", kOpSub, InstrClass::Alu, true, true},
+        {"MUL", kOpMul, InstrClass::Mul, true, true},
+    };
+    info.fsms = {
+        {"IF", if_pc.q.id, {if_valid.q.id}, {{0}}},
+        {"EX", ex_pc.q.id, {ex_valid.q.id}, {{0}}},
+        {"mulU", ex_pc.q.id, {mulu_busy.q.id}, {{0}}},
+        {"WB", wb_pc.q.id, {wb_valid.q.id}, {{0}}},
+    };
+    info.rs1Reg = ex_a.q.id;
+    info.rs2Reg = ex_b.q.id;
+    // The operand registers belong to the EX stage: an instruction's
+    // operands sit in ex_a/ex_b exactly while it occupies EX, so EX is
+    // the taint-introduction point (§V-A "operand registers, located at
+    // the issue or register read stage").
+    info.issueOccupied = ex_valid.q.id;
+    info.issuePcr = ex_pc.q.id;
+    for (const auto &w : arf.words)
+        info.arfRegs.push_back(w.q.id);
+    info.completenessBound = 12;
+    info.pcWidth = kPcW;
+    return duc;
+}
+
+} // namespace rmp::designs

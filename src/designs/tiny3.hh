@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Tiny3: a 3-stage (IF buffer / EX / WB) in-order core used by the
+ * quickstart example and as the first-light DUV for the tool pipeline.
+ *
+ * ISA: 4 opcodes over 4 registers of 8 bits — ADD, SUB, MUL (2-cycle
+ * multiplier), NOP. Instruction word: [opcode(4) | rd(2) | rs1(2) |
+ * rs2(2)], 10 bits.
+ *
+ * Two configurations:
+ *  - baseline: MUL always takes 2 EX cycles. Younger instructions may
+ *    stall behind it, so instructions exhibit >1 μPATH, but the path
+ *    selection is operand-independent — μPATH variability WITHOUT leakage
+ *    (the path selector function has only implicit inputs, §IV-C).
+ *  - zero-skip (withZeroSkip): MUL finishes in 1 cycle when its rs1
+ *    operand is zero (the CVA6-MUL optimization of Fig. 1 in miniature),
+ *    making MUL an intrinsic and dynamic transmitter.
+ */
+
+#ifndef DESIGNS_TINY3_HH
+#define DESIGNS_TINY3_HH
+
+#include "designs/harness.hh"
+
+namespace rmp::designs
+{
+
+/** Tiny3 configuration. */
+struct Tiny3Config
+{
+    /** Zero-skip multiplier: 1-cycle MUL when rs1 operand is zero. */
+    bool withZeroSkip = false;
+};
+
+/** Build a Tiny3 DUV (unfinalized; feed it to Harness). */
+DuvUnderConstruction buildTiny3(const Tiny3Config &cfg = {});
+
+} // namespace rmp::designs
+
+#endif // DESIGNS_TINY3_HH

@@ -1,0 +1,263 @@
+#include "ift/instrument.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rmp::ift
+{
+
+namespace
+{
+
+/** Small cell-construction helpers over the instrumented design. */
+struct Ops
+{
+    Design &d;
+
+    SigId
+    zero(unsigned w)
+    {
+        auto it = zeros.find(w);
+        if (it != zeros.end())
+            return it->second;
+        SigId z = d.addConst(BitVec(w, 0));
+        zeros[w] = z;
+        return z;
+    }
+    SigId
+    ones(unsigned w)
+    {
+        SigId z = d.addConst(BitVec(w, BitVec::maskOf(w)));
+        return z;
+    }
+    SigId bAnd(SigId a, SigId b) { return d.addBinary(Op::And, a, b); }
+    SigId bOr(SigId a, SigId b) { return d.addBinary(Op::Or, a, b); }
+    SigId bXor(SigId a, SigId b) { return d.addBinary(Op::Xor, a, b); }
+    SigId bNot(SigId a) { return d.addUnary(Op::Not, a, d.cell(a).width); }
+    SigId rOr(SigId a) { return d.addUnary(Op::RedOr, a, 1); }
+    SigId mux(SigId s, SigId t, SigId f) { return d.addMux(s, t, f); }
+    /** Replicate a 1-bit signal to width w (smear). */
+    SigId
+    smear(SigId bit, unsigned w)
+    {
+        return mux(bit, ones(w), zero(w));
+    }
+    /** Prefix-OR from the LSB upward (taint rule for add/sub carries). */
+    SigId
+    prefixOr(SigId a)
+    {
+        unsigned w = d.cell(a).width;
+        if (w == 1)
+            return a;
+        SigId acc = d.addUnary(Op::Slice, a, 1, 0);
+        SigId prev = acc;
+        for (unsigned i = 1; i < w; i++) {
+            SigId bit = d.addUnary(Op::Slice, a, 1, i);
+            prev = bOr(prev, bit);
+            acc = d.addBinary(Op::Concat, prev, acc);
+        }
+        return acc;
+    }
+
+    std::unordered_map<unsigned, SigId> zeros;
+};
+
+} // anonymous namespace
+
+Instrumented
+instrument(const Design &orig, const IftConfig &cfg)
+{
+    Instrumented out;
+    out.design = std::make_shared<Design>(orig);
+    Design &d = *out.design;
+    Ops ops{d, {}};
+
+    size_t n_orig = orig.numCells();
+    out.shadow.assign(n_orig, kNoSig);
+
+    // Sticky-flush plumbing (§V-C1 Assumption 3).
+    out.stickyMode = d.addInput("ift_sticky_mode", 1);
+    SigId flush_active = kNoSig;
+    if (cfg.txmGone != kNoSig) {
+        SigId prev = d.addReg("ift_gone_prev", BitVec(1, 0));
+        d.connectRegNext(prev, cfg.txmGone);
+        SigId pulse = ops.bAnd(cfg.txmGone, ops.bNot(prev));
+        flush_active = ops.bAnd(out.stickyMode, pulse);
+        d.setName(flush_active, "ift_flush_active");
+    }
+
+    // Shadow registers first, so combinational shadows can reference them.
+    std::unordered_map<SigId, SigId> shadow_reg;
+    for (SigId r : orig.registers()) {
+        if (r >= n_orig)
+            continue;
+        const Cell &c = orig.cell(r);
+        SigId sreg = d.addReg("t_" + c.name, BitVec(c.width, 0));
+        shadow_reg[r] = sreg;
+        out.shadow[r] = sreg;
+    }
+    // Taint-introduction inputs: injected combinationally on the source
+    // register's shadow READ path, so taint marks exactly the cycles in
+    // which the register holds the transmitter's operand (the assume
+    // pins the input to the transmitter-at-issue condition, §V-C1).
+    for (SigId src : cfg.taintSources) {
+        rmp_assert(orig.cell(src).op == Op::Reg,
+                   "taint source must be a register");
+        SigId tin = d.addInput("ift_in_" + orig.cell(src).name,
+                               orig.cell(src).width);
+        out.taintIn[src] = tin;
+        out.shadow[src] = ops.bOr(shadow_reg[src], tin);
+    }
+    // Inputs and constants carry no taint.
+    for (SigId i : orig.inputs())
+        if (i < n_orig)
+            out.shadow[i] = ops.zero(orig.cell(i).width);
+
+    // Combinational shadows in topological order.
+    for (SigId id : orig.topoOrder()) {
+        if (id >= n_orig)
+            continue;
+        const Cell &c = orig.cell(id);
+        auto sh = [&](unsigned k) { return out.shadow[c.args[k]]; };
+        auto ar = [&](unsigned k) { return c.args[k]; };
+        SigId t = kNoSig;
+        switch (c.op) {
+          case Op::Const:
+            t = ops.zero(c.width);
+            break;
+          case Op::Not:
+            t = sh(0);
+            break;
+          case Op::And: {
+              // taint if both tainted, or one tainted and the other 1.
+              SigId tt = ops.bAnd(sh(0), sh(1));
+              SigId t0 = ops.bAnd(sh(0), ar(1));
+              SigId t1 = ops.bAnd(sh(1), ar(0));
+              t = ops.bOr(tt, ops.bOr(t0, t1));
+              break;
+          }
+          case Op::Or: {
+              SigId tt = ops.bAnd(sh(0), sh(1));
+              SigId t0 = ops.bAnd(sh(0), ops.bNot(ar(1)));
+              SigId t1 = ops.bAnd(sh(1), ops.bNot(ar(0)));
+              t = ops.bOr(tt, ops.bOr(t0, t1));
+              break;
+          }
+          case Op::Xor:
+            t = ops.bOr(sh(0), sh(1));
+            break;
+          case Op::RedOr: {
+              // Untainted if some untainted bit is already 1.
+              SigId anyt = ops.rOr(sh(0));
+              SigId sure1 = ops.rOr(ops.bAnd(ar(0), ops.bNot(sh(0))));
+              t = ops.bAnd(anyt, ops.bNot(sure1));
+              break;
+          }
+          case Op::RedAnd: {
+              SigId anyt = ops.rOr(sh(0));
+              SigId sure0 =
+                  ops.rOr(ops.bAnd(ops.bNot(ar(0)), ops.bNot(sh(0))));
+              t = ops.bAnd(anyt, ops.bNot(sure0));
+              break;
+          }
+          case Op::Eq: {
+              // Untainted if a pair of untainted bits already differs.
+              SigId diff = ops.bXor(ar(0), ar(1));
+              SigId unt =
+                  ops.bAnd(ops.bNot(sh(0)), ops.bNot(sh(1)));
+              SigId det0 = ops.rOr(ops.bAnd(diff, unt));
+              SigId anyt = ops.bOr(ops.rOr(sh(0)), ops.rOr(sh(1)));
+              t = ops.bAnd(anyt, ops.bNot(det0));
+              break;
+          }
+          case Op::Ult:
+            t = ops.bOr(ops.rOr(sh(0)), ops.rOr(sh(1)));
+            break;
+          case Op::Add:
+          case Op::Sub:
+            // Carries only propagate upward: prefix-OR of input taint.
+            t = ops.prefixOr(ops.bOr(sh(0), sh(1)));
+            break;
+          case Op::Mul: {
+              SigId any = ops.bOr(ops.rOr(sh(0)), ops.rOr(sh(1)));
+              t = ops.smear(any, c.width);
+              break;
+          }
+          case Op::Shl:
+          case Op::Shr: {
+              // Data taint shifts with the data; a tainted shift amount
+              // smears everything.
+              SigId moved = d.addBinary(c.op, sh(0), ar(1));
+              SigId amt = ops.smear(ops.rOr(sh(1)), c.width);
+              t = ops.bOr(moved, amt);
+              break;
+          }
+          case Op::Mux: {
+              SigId picked = ops.mux(ar(0), sh(1), sh(2));
+              SigId arms = ops.bOr(ops.bXor(ar(1), ar(2)),
+                                   ops.bOr(sh(1), sh(2)));
+              SigId sel_t = ops.mux(sh(0), arms, ops.zero(c.width));
+              t = ops.bOr(picked, sel_t);
+              break;
+          }
+          case Op::Slice:
+            t = d.addUnary(Op::Slice, sh(0), c.width, c.aux0);
+            break;
+          case Op::Zext:
+            t = d.addUnary(Op::Zext, sh(0), c.width);
+            break;
+          case Op::Concat:
+            t = d.addBinary(Op::Concat, sh(0), sh(1));
+            break;
+          default:
+            rmp_panic("instrument: unexpected op %s", opName(c.op));
+        }
+        rmp_assert(d.cell(t).width == c.width, "shadow width mismatch");
+        out.shadow[id] = t;
+    }
+
+    // Connect shadow registers.
+    auto in_list = [](const std::vector<SigId> &v, SigId x) {
+        return std::find(v.begin(), v.end(), x) != v.end();
+    };
+    for (SigId r : orig.registers()) {
+        if (r >= n_orig)
+            continue;
+        const Cell &c = orig.cell(r);
+        SigId sreg = shadow_reg[r];
+        if (in_list(cfg.blockRegs, r) || in_list(cfg.taintSources, r)) {
+            // Architectural boundary: taint never persists here. Operand
+            // registers are likewise architectural — taint enters them
+            // only through the explicit introduction inputs above, never
+            // by propagation from older instructions' (forwarded)
+            // results.
+            d.connectRegNext(sreg, ops.zero(c.width));
+            continue;
+        }
+        SigId next = out.shadow[c.args[0]];
+        if (flush_active != kNoSig && !in_list(cfg.persistentRegs, r))
+            next = ops.mux(flush_active, ops.zero(c.width), next);
+        d.connectRegNext(sreg, next);
+    }
+
+    d.validate();
+    return out;
+}
+
+SigId
+Instrumented::anyTaintWire(const std::vector<SigId> &origs) const
+{
+    rmp_assert(!origs.empty(), "anyTaintWire of nothing");
+    Design &d = *design;
+    SigId acc = kNoSig;
+    for (SigId o : origs) {
+        SigId s = shadow[o];
+        rmp_assert(s != kNoSig, "no shadow for signal %u", o);
+        SigId bit = d.addUnary(Op::RedOr, s, 1);
+        acc = acc == kNoSig ? bit : d.addBinary(Op::Or, acc, bit);
+    }
+    return acc;
+}
+
+} // namespace rmp::ift

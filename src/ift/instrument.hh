@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CellIFT-style information-flow-tracking instrumentation (§V-C1).
+ *
+ * instrument() clones a finalized design and appends one shadow (taint)
+ * cell per functional cell, preserving all original SigIds so harness
+ * signals and assume-expressions remain valid on the instrumented design.
+ * Propagation rules are precise for logic/mux/reductions/equality and
+ * soundly conservative for arithmetic (prefix-or for add/sub, smear for
+ * mul), mirroring the cell-level granularity of CellIFT [78].
+ *
+ * Features required by SynthLC's symbolic-IFT step:
+ *  - taint-introduction inputs on designated source registers (the operand
+ *    registers of §V-A), ORed into the source's shadow;
+ *  - architectural-boundary blocking: ARF/AMEM shadows are pinned to zero
+ *    so taint cannot propagate architecturally between instruction
+ *    outputs and inputs;
+ *  - the Assumption-3 sticky-taint flush: under a per-query mode input,
+ *    every non-persistent register's shadow is cleared in the cycle the
+ *    transmitter dematerializes, leaving only taint held in persistent
+ *    state (caches, buffers) — isolating static influence (§V-C1).
+ */
+
+#ifndef IFT_INSTRUMENT_HH
+#define IFT_INSTRUMENT_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rtlir/design.hh"
+
+namespace rmp::ift
+{
+
+/** Instrumentation configuration. */
+struct IftConfig
+{
+    /** Registers that receive taint-introduction inputs. */
+    std::vector<SigId> taintSources;
+    /** Registers whose shadow is pinned to zero (ARF/AMEM words). */
+    std::vector<SigId> blockRegs;
+    /** Registers that keep taint across the sticky flush. */
+    std::vector<SigId> persistentRegs;
+    /**
+     * Wire (in the original design) that is high once the transmitter has
+     * dematerialized; its rising edge triggers the sticky flush when the
+     * sticky mode input is asserted. kNoSig disables the flush plumbing.
+     */
+    SigId txmGone = kNoSig;
+};
+
+/** The instrumented design plus the taint-plane bookkeeping. */
+struct Instrumented
+{
+    std::shared_ptr<Design> design;
+    /** shadow[orig] = SigId of the taint word for original signal orig. */
+    std::vector<SigId> shadow;
+    /** Taint-introduction input per source register. */
+    std::unordered_map<SigId, SigId> taintIn;
+    /** 1-bit mode input: 1 = Assumption-3 sticky-flush semantics. */
+    SigId stickyMode = kNoSig;
+
+    /** Build (once per call) a wire asserting any of @p origs is tainted. */
+    SigId anyTaintWire(const std::vector<SigId> &origs) const;
+};
+
+/** Instrument @p orig; the original design object is left untouched. */
+Instrumented instrument(const Design &orig, const IftConfig &config);
+
+} // namespace rmp::ift
+
+#endif // IFT_INSTRUMENT_HH

@@ -1,0 +1,205 @@
+#include "prop/property.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rmp::prop
+{
+
+unsigned
+Expr::depth() const
+{
+    switch (kind) {
+      case ExprKind::True:
+      case ExprKind::SigEqConst:
+      case ExprKind::SigBit:
+        return 0;
+      case ExprKind::Not:
+        return a->depth();
+      case ExprKind::And:
+      case ExprKind::Or:
+        return std::max(a->depth(), b->depth());
+      case ExprKind::Delay:
+        return std::max(a->depth(), delay + b->depth());
+    }
+    return 0;
+}
+
+std::string
+Expr::str(const Design &d) const
+{
+    auto sig_name = [&](SigId s) {
+        const std::string &n = d.cell(s).name;
+        return n.empty() ? "sig" + std::to_string(s) : n;
+    };
+    switch (kind) {
+      case ExprKind::True:
+        return "1";
+      case ExprKind::SigEqConst:
+        return sig_name(sig) + "==" + std::to_string(value);
+      case ExprKind::SigBit:
+        return d.cell(sig).width == 1
+                   ? sig_name(sig)
+                   : sig_name(sig) + "[" + std::to_string(value) + "]";
+      case ExprKind::Not:
+        return "!(" + a->str(d) + ")";
+      case ExprKind::And:
+        return "(" + a->str(d) + " & " + b->str(d) + ")";
+      case ExprKind::Or:
+        return "(" + a->str(d) + " | " + b->str(d) + ")";
+      case ExprKind::Delay:
+        return "(" + a->str(d) + " ##" + std::to_string(delay) + " " +
+               b->str(d) + ")";
+    }
+    return "?";
+}
+
+ExprRef
+pTrue()
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::True;
+    return e;
+}
+
+ExprRef
+pEq(SigId sig, uint64_t value)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::SigEqConst;
+    e->sig = sig;
+    e->value = value;
+    return e;
+}
+
+ExprRef
+pBit(SigId sig, unsigned bit)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::SigBit;
+    e->sig = sig;
+    e->value = bit;
+    return e;
+}
+
+ExprRef
+pNot(ExprRef a)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Not;
+    e->a = std::move(a);
+    return e;
+}
+
+ExprRef
+pAnd(ExprRef a, ExprRef b)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::And;
+    e->a = std::move(a);
+    e->b = std::move(b);
+    return e;
+}
+
+ExprRef
+pOr(ExprRef a, ExprRef b)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Or;
+    e->a = std::move(a);
+    e->b = std::move(b);
+    return e;
+}
+
+ExprRef
+pAndN(const std::vector<ExprRef> &xs)
+{
+    if (xs.empty())
+        return pTrue();
+    ExprRef acc = xs[0];
+    for (size_t i = 1; i < xs.size(); i++)
+        acc = pAnd(acc, xs[i]);
+    return acc;
+}
+
+ExprRef
+pOrN(const std::vector<ExprRef> &xs)
+{
+    if (xs.empty())
+        return pNot(pTrue());
+    ExprRef acc = xs[0];
+    for (size_t i = 1; i < xs.size(); i++)
+        acc = pOr(acc, xs[i]);
+    return acc;
+}
+
+ExprRef
+pDelay(ExprRef a, unsigned delay, ExprRef b)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Delay;
+    e->a = std::move(a);
+    e->b = std::move(b);
+    e->delay = delay;
+    return e;
+}
+
+bmc::AigLit
+compile(const ExprRef &e, bmc::Unrolling &u, unsigned start, unsigned bound)
+{
+    using namespace bmc;
+    if (start >= bound)
+        return kFalse;
+    switch (e->kind) {
+      case ExprKind::True:
+        return kTrue;
+      case ExprKind::SigEqConst:
+        return u.sigEqConst(start, e->sig, e->value);
+      case ExprKind::SigBit:
+        return u.sigBit(start, e->sig, static_cast<unsigned>(e->value));
+      case ExprKind::Not:
+        return aigNot(compile(e->a, u, start, bound));
+      case ExprKind::And:
+        return u.aig().mkAnd(compile(e->a, u, start, bound),
+                             compile(e->b, u, start, bound));
+      case ExprKind::Or:
+        return u.aig().mkOr(compile(e->a, u, start, bound),
+                            compile(e->b, u, start, bound));
+      case ExprKind::Delay: {
+          AigLit la = compile(e->a, u, start, bound);
+          AigLit lb = compile(e->b, u, start + e->delay, bound);
+          return u.aig().mkAnd(la, lb);
+      }
+    }
+    rmp_panic("compile: bad expr kind");
+}
+
+bool
+evalOnTrace(const ExprRef &e, const SimTrace &trace, unsigned start)
+{
+    if (start >= trace.numCycles())
+        return false;
+    switch (e->kind) {
+      case ExprKind::True:
+        return true;
+      case ExprKind::SigEqConst:
+        return trace.value(start, e->sig) == e->value;
+      case ExprKind::SigBit:
+        return (trace.value(start, e->sig) >> e->value) & 1;
+      case ExprKind::Not:
+        return !evalOnTrace(e->a, trace, start);
+      case ExprKind::And:
+        return evalOnTrace(e->a, trace, start) &&
+               evalOnTrace(e->b, trace, start);
+      case ExprKind::Or:
+        return evalOnTrace(e->a, trace, start) ||
+               evalOnTrace(e->b, trace, start);
+      case ExprKind::Delay:
+        return evalOnTrace(e->a, trace, start) &&
+               evalOnTrace(e->b, trace, start + e->delay);
+    }
+    rmp_panic("evalOnTrace: bad expr kind");
+}
+
+} // namespace rmp::prop

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Paper-style report rendering: the Fig. 8 leakage-signature matrix, the
+ * Table II metadata summary, property-evaluation statistics (§VII-B3),
+ * and μPATH figure rendering helpers used by the benches and examples.
+ */
+
+#ifndef REPORT_REPORT_HH
+#define REPORT_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "contracts/contracts.hh"
+#include "rtl2mupath/synth.hh"
+#include "synthlc/synthlc.hh"
+
+namespace rmp::report
+{
+
+/**
+ * Render the Fig. 8-style matrix: transponder classes (columns) x typed
+ * transmitter inputs (rows, with rs1/rs2 sub-rows), with each column's
+ * leakage-signature output-range size.
+ */
+std::string renderFig8Matrix(const ct::AnalysisDb &db);
+
+/**
+ * Render the Table II metadata summary for a harnessed DUV, next to the
+ * paper's CVA6 numbers for comparison.
+ */
+std::string renderTableII(const designs::Harness &hx);
+
+/** Render §VII-B3-style property-evaluation statistics. */
+std::string renderStepStats(const std::vector<r2m::StepStats> &steps,
+                            const slc::SynthLcStats *synthlc = nullptr);
+
+/** Render all μPATHs of one instruction with figure-style headers. */
+std::string renderInstrPaths(const designs::Harness &hx,
+                             const uhb::InstrPaths &paths);
+
+/** Summarize a decision list in §IV-B notation. */
+std::string renderDecisions(const designs::Harness &hx,
+                            const uhb::InstrPaths &paths);
+
+} // namespace rmp::report
+
+#endif // REPORT_REPORT_HH

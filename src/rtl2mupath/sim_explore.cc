@@ -1,0 +1,146 @@
+#include "rtl2mupath/sim_explore.hh"
+
+#include <algorithm>
+#include <random>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+
+namespace rmp::r2m
+{
+
+using namespace uhb;
+
+SimRun
+randomConstrainedRun(const designs::Harness &hx, const Design &design,
+                     unsigned cycles, InstrId iuv, unsigned mark_pos,
+                     int txm, unsigned txm_pos, const SimExploreConfig &cfg,
+                     std::mt19937_64 &rng,
+                     const std::function<void(unsigned, Simulator &,
+                                              InputMap &)> &extra)
+{
+    const DuvInfo &info = hx.duv();
+    SigId mark_iuv = design.findByName("hx_mark_iuv");
+    SigId mark_txm = design.findByName("hx_mark_txm");
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+    Simulator sim(design);
+    SimRun rr;
+    rr.inputs.resize(cycles);
+    unsigned fired = 0;
+    for (unsigned t = 0; t < cycles; t++) {
+        InputMap &in = rr.inputs[t];
+        // Symbolic architectural init: driven in the first cycle only.
+        if (t == 0) {
+            for (SigId i : design.inputs()) {
+                const std::string &n = design.cell(i).name;
+                if (n.find("_init") == std::string::npos)
+                    continue;
+                uint64_t mask = BitVec::maskOf(design.cell(i).width);
+                uint64_t v = coin(rng) < cfg.specialInitProb
+                                 ? (rng() & 3)
+                                 : (rng() & mask);
+                in[i] = v & mask;
+            }
+        }
+        bool offer = coin(rng) < cfg.fetchProb;
+        bool is_iuv_slot = fired == mark_pos;
+        bool is_txm_slot = txm >= 0 && fired == txm_pos;
+        if (offer || is_iuv_slot || is_txm_slot) {
+            // Random valid instruction word; forced opcode for marks.
+            InstrId pick = is_iuv_slot
+                               ? iuv
+                               : (is_txm_slot ? static_cast<InstrId>(txm)
+                                              : static_cast<InstrId>(
+                                                    rng() %
+                                                    info.instrs.size()));
+            uint64_t word = rng() & BitVec::maskOf(
+                                        design.cell(info.ifr).width);
+            // Overwrite the opcode field.
+            uint64_t opc_mask = BitVec::maskOf(info.opcodeWidth)
+                                << info.opcodeLo;
+            word = (word & ~opc_mask) |
+                   (info.instrs[pick].opcode << info.opcodeLo);
+            in[info.fetchValid] = 1;
+            in[info.ifr] = word;
+            in[mark_iuv] = is_iuv_slot;
+            in[mark_txm] = is_txm_slot || (txm >= 0 && is_iuv_slot &&
+                                           txm_pos == mark_pos);
+        }
+        if (extra)
+            extra(t, sim, in);
+        sim.step(in);
+        if (in.count(info.fetchValid) &&
+            (info.fetchReady == kNoSig || sim.value(info.fetchReady)))
+            fired++;
+    }
+    rr.trace = sim.trace();
+    return rr;
+}
+
+SimFacts
+exploreSim(const designs::Harness &hx, InstrId iuv,
+           const SimExploreConfig &cfg)
+{
+    SimFacts facts;
+    std::mt19937_64 rng(cfg.seed * 0x9e3779b97f4a7c15ULL + iuv);
+    unsigned bound = hx.duv().completenessBound;
+
+    for (unsigned run = 0; run < cfg.runs; run++) {
+        unsigned mark_pos = rng() % (cfg.maxMarkPos + 1);
+        SimRun rr = randomConstrainedRun(hx, hx.design(), bound, iuv,
+                                         mark_pos, -1, 0, cfg, rng);
+        const SimTrace &tr = rr.trace;
+        size_t last = tr.numCycles() - 1;
+        // Only completed executions contribute set-level facts; PL visits
+        // and successor patterns are valid regardless.
+        std::vector<PlId> visited;
+        for (PlId p = 0; p < hx.numPls(); p++)
+            if (tr.value(last, hx.plSig(p).iuvVisited))
+                visited.push_back(p);
+        for (PlId p : visited)
+            facts.iuvPls.insert(p);
+
+        // Successor patterns at every cycle where the IUV sits anywhere.
+        for (size_t t = 0; t + 1 < tr.numCycles(); t++) {
+            std::vector<PlId> now, next;
+            for (PlId p = 0; p < hx.numPls(); p++) {
+                if (tr.value(t, hx.plSig(p).iuvAt))
+                    now.push_back(p);
+                if (tr.value(t + 1, hx.plSig(p).iuvAt))
+                    next.push_back(p);
+            }
+            if (now.empty())
+                continue;
+            bool gone_next = tr.value(t + 1, hx.iuvGone);
+            if (next.empty() && !gone_next)
+                continue; // should not happen on gap-free designs
+            for (PlId src : now)
+                facts.succ[src].insert(next);
+        }
+
+        bool gone = tr.value(last, hx.iuvGone);
+        if (!gone || visited.empty())
+            continue;
+        SimSetFact &sf = facts.sets[visited];
+        if (sf.set.empty()) {
+            sf.set = visited;
+            sf.witness.inputs = std::move(rr.inputs);
+            sf.witness.trace = tr;
+        }
+        for (PlId p : visited) {
+            if (tr.value(last, hx.plSig(p).revisitConsec))
+                sf.consec.insert(p);
+            if (tr.value(last, hx.plSig(p).revisitNonconsec))
+                sf.nonconsec.insert(p);
+            sf.counts[p].insert(static_cast<unsigned>(
+                tr.value(last, hx.plSig(p).visitCount)));
+        }
+        for (const auto &eo : hx.edgeObservers())
+            if (tr.value(last, eo.seen))
+                sf.edges.insert({eo.from, eo.to});
+    }
+    return facts;
+}
+
+} // namespace rmp::r2m

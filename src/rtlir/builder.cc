@@ -1,0 +1,294 @@
+#include "rtlir/builder.hh"
+
+#include "common/logging.hh"
+
+namespace rmp
+{
+
+unsigned
+Sig::width() const
+{
+    return b->d.width(id);
+}
+
+Sig
+Sig::operator&(Sig o) const
+{
+    return {b, b->d.addBinary(Op::And, id, o.id)};
+}
+
+Sig
+Sig::operator|(Sig o) const
+{
+    return {b, b->d.addBinary(Op::Or, id, o.id)};
+}
+
+Sig
+Sig::operator^(Sig o) const
+{
+    return {b, b->d.addBinary(Op::Xor, id, o.id)};
+}
+
+Sig
+Sig::operator~() const
+{
+    return {b, b->d.addUnary(Op::Not, id, width())};
+}
+
+Sig
+Sig::operator+(Sig o) const
+{
+    return {b, b->d.addBinary(Op::Add, id, o.id)};
+}
+
+Sig
+Sig::operator-(Sig o) const
+{
+    return {b, b->d.addBinary(Op::Sub, id, o.id)};
+}
+
+Sig
+Sig::operator*(Sig o) const
+{
+    return {b, b->d.addBinary(Op::Mul, id, o.id)};
+}
+
+Sig
+Sig::operator==(Sig o) const
+{
+    return {b, b->d.addBinary(Op::Eq, id, o.id)};
+}
+
+Sig
+Sig::operator!=(Sig o) const
+{
+    Sig eq = *this == o;
+    return ~eq;
+}
+
+Sig
+Sig::operator<(Sig o) const
+{
+    return {b, b->d.addBinary(Op::Ult, id, o.id)};
+}
+
+Sig
+Sig::operator>=(Sig o) const
+{
+    Sig lt = *this < o;
+    return ~lt;
+}
+
+Sig
+Sig::slice(unsigned lo, unsigned w) const
+{
+    return {b, b->d.addUnary(Op::Slice, id, w, lo)};
+}
+
+Sig
+Sig::bit(unsigned i) const
+{
+    return slice(i, 1);
+}
+
+Sig
+Sig::zext(unsigned w) const
+{
+    if (w == width())
+        return *this;
+    return {b, b->d.addUnary(Op::Zext, id, w)};
+}
+
+Sig
+Sig::orR() const
+{
+    return {b, b->d.addUnary(Op::RedOr, id, 1)};
+}
+
+Sig
+Sig::andR() const
+{
+    return {b, b->d.addUnary(Op::RedAnd, id, 1)};
+}
+
+Sig
+Builder::input(const std::string &name, unsigned width)
+{
+    return {this, d.addInput(name, width)};
+}
+
+Sig
+Builder::lit(unsigned width, uint64_t value)
+{
+    return {this, d.addConst(BitVec(width, value))};
+}
+
+Sig
+Builder::reg(const std::string &name, unsigned width, uint64_t reset)
+{
+    RegSig r = regh(name, width, reset);
+    return r.q;
+}
+
+RegSig
+Builder::regh(const std::string &name, unsigned width, uint64_t reset)
+{
+    SigId id = d.addReg(name, BitVec(width, reset));
+    RegState st;
+    st.id = id;
+    regStates.push_back(std::move(st));
+    RegSig r;
+    r.q = {this, id};
+    r.slot = regStates.size() - 1;
+    return r;
+}
+
+Sig
+Builder::mux(Sig sel, Sig then_val, Sig else_val)
+{
+    return {this, d.addMux(sel.id, then_val.id, else_val.id)};
+}
+
+Sig
+Builder::cat(Sig hi, Sig lo)
+{
+    return {this, d.addBinary(Op::Concat, hi.id, lo.id)};
+}
+
+Sig
+Builder::shl(Sig val, Sig amount)
+{
+    return {this, d.addBinary(Op::Shl, val.id, amount.id)};
+}
+
+Sig
+Builder::shr(Sig val, Sig amount)
+{
+    return {this, d.addBinary(Op::Shr, val.id, amount.id)};
+}
+
+Sig
+Builder::named(const std::string &name, Sig s)
+{
+    d.setName(s.id, name);
+    return s;
+}
+
+void
+Builder::when(Sig cond)
+{
+    rmp_assert(cond.width() == 1, "when() condition must be 1 bit");
+    ScopeFrame f;
+    f.cond = cond;
+    f.priorNegated = ~cond;
+    scopes.push_back(f);
+}
+
+void
+Builder::elseWhen(Sig cond)
+{
+    rmp_assert(!scopes.empty(), "elseWhen() without when()");
+    rmp_assert(cond.width() == 1, "elseWhen() condition must be 1 bit");
+    ScopeFrame &f = scopes.back();
+    f.cond = f.priorNegated & cond;
+    f.priorNegated = f.priorNegated & ~cond;
+}
+
+void
+Builder::otherwise()
+{
+    rmp_assert(!scopes.empty(), "otherwise() without when()");
+    ScopeFrame &f = scopes.back();
+    f.cond = f.priorNegated;
+}
+
+void
+Builder::end()
+{
+    rmp_assert(!scopes.empty(), "end() without when()");
+    scopes.pop_back();
+}
+
+Sig
+Builder::currentCond() const
+{
+    Sig acc;
+    for (const auto &f : scopes) {
+        if (!acc.valid())
+            acc = f.cond;
+        else
+            acc = acc & f.cond;
+    }
+    return acc;
+}
+
+void
+Builder::assign(RegSig &reg, Sig value)
+{
+    rmp_assert(!finalized, "assign after finalize");
+    rmp_assert(value.width() == reg.width(),
+               "assign width %u to %u-bit register", value.width(),
+               reg.width());
+    PendingAssign pa;
+    pa.cond = currentCond();
+    pa.value = value;
+    regStates[reg.slot].assigns.push_back(pa);
+}
+
+MemArray
+Builder::mem(const std::string &name, size_t words, unsigned width)
+{
+    MemArray m;
+    m.name = name;
+    m.wordWidth = width;
+    m.words.reserve(words);
+    for (size_t i = 0; i < words; i++)
+        m.words.push_back(
+            regh(name + "[" + std::to_string(i) + "]", width, 0));
+    return m;
+}
+
+Sig
+Builder::memRead(const MemArray &m, Sig addr)
+{
+    rmp_assert(!m.words.empty(), "read from empty memory");
+    Sig result = m.words[0].q;
+    for (size_t i = 1; i < m.size(); i++) {
+        Sig is_i = addr == lit(addr.width(), i);
+        result = mux(is_i, m.words[i].q, result);
+    }
+    return result;
+}
+
+void
+Builder::memWrite(MemArray &m, Sig en, Sig addr, Sig data)
+{
+    for (size_t i = 0; i < m.size(); i++) {
+        Sig sel = en & (addr == lit(addr.width(), i));
+        when(sel);
+        assign(m.words[i], data);
+        end();
+    }
+}
+
+void
+Builder::finalize()
+{
+    rmp_assert(!finalized, "finalize called twice");
+    finalized = true;
+    for (auto &st : regStates) {
+        // Default: hold current value; apply assignments in program order
+        // so the last active assignment wins (Chisel semantics).
+        Sig next{this, st.id};
+        for (const auto &pa : st.assigns) {
+            if (!pa.cond.valid())
+                next = pa.value;
+            else
+                next = mux(pa.cond, pa.value, next);
+        }
+        d.connectRegNext(st.id, next.id);
+    }
+    d.validate();
+}
+
+} // namespace rmp

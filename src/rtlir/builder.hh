@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Chisel-like hardware construction layer over the netlist IR.
+ *
+ * Provides a Sig value type with operator overloads, registers with
+ * last-connect-wins conditional assignment under when()/elseWhen()/
+ * otherwise() scopes, and memory arrays elaborated into register files.
+ * This is how every DUV in src/designs is written; it plays the role of
+ * SystemVerilog source in the paper's flow.
+ */
+
+#ifndef RTLIR_BUILDER_HH
+#define RTLIR_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "rtlir/design.hh"
+
+namespace rmp
+{
+
+class Builder;
+
+/** A signal handle: a SigId plus the Builder it belongs to. */
+struct Sig
+{
+    Builder *b = nullptr;
+    SigId id = kNoSig;
+
+    bool valid() const { return id != kNoSig; }
+    unsigned width() const;
+
+    /** @name Bitwise / arithmetic operators (width-checked) */
+    /// @{
+    Sig operator&(Sig o) const;
+    Sig operator|(Sig o) const;
+    Sig operator^(Sig o) const;
+    Sig operator~() const;
+    Sig operator+(Sig o) const;
+    Sig operator-(Sig o) const;
+    Sig operator*(Sig o) const;
+    Sig operator==(Sig o) const;
+    Sig operator!=(Sig o) const;
+    Sig operator<(Sig o) const;  ///< unsigned
+    Sig operator>=(Sig o) const; ///< unsigned
+    /// @}
+
+    /** Bits [lo .. lo+width-1]. */
+    Sig slice(unsigned lo, unsigned width) const;
+    /** Single bit @p i as a 1-bit signal. */
+    Sig bit(unsigned i) const;
+    /** Zero-extend to @p width. */
+    Sig zext(unsigned width) const;
+    /** OR-reduce to 1 bit ("is any bit set"). */
+    Sig orR() const;
+    /** AND-reduce to 1 bit. */
+    Sig andR() const;
+};
+
+/** A register handle: read via q, written via Builder::assign. */
+struct RegSig
+{
+    Sig q;
+    /** Index into Builder's internal register table. */
+    size_t slot = 0;
+    unsigned width() const { return q.width(); }
+    operator Sig() const { return q; }
+};
+
+/** A memory elaborated as a register array with mux-tree read ports. */
+struct MemArray
+{
+    std::string name;
+    unsigned wordWidth = 0;
+    std::vector<RegSig> words;
+    size_t size() const { return words.size(); }
+};
+
+/**
+ * Hardware construction context for one Design.
+ *
+ * Registers accumulate conditional assignments; finalize() lowers them into
+ * mux chains and connects every register's next-state input. A Builder must
+ * be finalized exactly once, after which the Design is complete.
+ */
+class Builder
+{
+  public:
+    explicit Builder(Design &design) : d(design) {}
+
+    Design &design() { return d; }
+
+    /** @name Leaf signals */
+    /// @{
+    Sig input(const std::string &name, unsigned width);
+    Sig lit(unsigned width, uint64_t value);
+    Sig lit1(bool value) { return lit(1, value); }
+    Sig reg(const std::string &name, unsigned width, uint64_t reset = 0);
+    /** Register with a handle for conditional assignment. */
+    RegSig regh(const std::string &name, unsigned width, uint64_t reset = 0);
+    /// @}
+
+    /** @name Combinational helpers */
+    /// @{
+    Sig mux(Sig sel, Sig then_val, Sig else_val);
+    Sig cat(Sig hi, Sig lo);
+    Sig shl(Sig val, Sig amount);
+    Sig shr(Sig val, Sig amount);
+    /** Name a wire for debugging / report readability. */
+    Sig named(const std::string &name, Sig s);
+    /// @}
+
+    /** @name Conditional assignment scopes (Chisel-style) */
+    /// @{
+    void when(Sig cond);
+    void elseWhen(Sig cond);
+    void otherwise();
+    void end();
+    /** Assign @p value to @p reg under the current condition stack. */
+    void assign(RegSig &reg, Sig value);
+    /// @}
+
+    /** @name Memories */
+    /// @{
+    /** Create a @p words x @p width memory elaborated as registers. */
+    MemArray mem(const std::string &name, size_t words, unsigned width);
+    /** Combinational (same-cycle) read port. */
+    Sig memRead(const MemArray &m, Sig addr);
+    /** Write port active under the current when-scope and @p en. */
+    void memWrite(MemArray &m, Sig en, Sig addr, Sig data);
+    /// @}
+
+    /**
+     * Lower all conditional assignments and connect register next-state
+     * inputs. Registers never assigned keep their value. Must be called
+     * exactly once; validates the design.
+     */
+    void finalize();
+
+  private:
+    friend struct Sig;
+
+    struct PendingAssign
+    {
+        Sig cond;  ///< fully resolved condition (invalid = unconditional)
+        Sig value;
+    };
+
+    struct RegState
+    {
+        SigId id;
+        std::vector<PendingAssign> assigns;
+    };
+
+    struct ScopeFrame
+    {
+        Sig cond;          ///< condition of the active branch
+        Sig priorNegated;  ///< conjunction of negations of earlier branches
+    };
+
+    /** Conjunction of all active scope conditions (invalid if empty). */
+    Sig currentCond() const;
+
+    Design &d;
+    std::vector<RegState> regStates;
+    std::vector<ScopeFrame> scopes;
+    bool finalized = false;
+};
+
+} // namespace rmp
+
+#endif // RTLIR_BUILDER_HH

@@ -1,0 +1,355 @@
+#include "rtlir/design.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rmp
+{
+
+bool
+isCombOp(Op op)
+{
+    return op != Op::Input && op != Op::Reg;
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Input: return "input";
+      case Op::Const: return "const";
+      case Op::Not: return "not";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::RedOr: return "redor";
+      case Op::RedAnd: return "redand";
+      case Op::Eq: return "eq";
+      case Op::Ult: return "ult";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::Mux: return "mux";
+      case Op::Slice: return "slice";
+      case Op::Concat: return "concat";
+      case Op::Zext: return "zext";
+      case Op::Reg: return "reg";
+    }
+    return "?";
+}
+
+SigId
+Design::push(Cell c)
+{
+    cells_.push_back(std::move(c));
+    topoValid = false;
+    return static_cast<SigId>(cells_.size() - 1);
+}
+
+SigId
+Design::addInput(const std::string &name, unsigned width)
+{
+    rmp_assert(width >= 1 && width <= 64, "input %s width %u", name.c_str(),
+               width);
+    Cell c;
+    c.op = Op::Input;
+    c.width = width;
+    c.name = name;
+    SigId id = push(std::move(c));
+    inputIds.push_back(id);
+    rmp_assert(!nameMap.count(name), "duplicate input name %s", name.c_str());
+    nameMap[name] = id;
+    return id;
+}
+
+SigId
+Design::addConst(const BitVec &value)
+{
+    Cell c;
+    c.op = Op::Const;
+    c.width = value.width();
+    c.cval = value;
+    return push(std::move(c));
+}
+
+SigId
+Design::addUnary(Op op, SigId a, unsigned result_width, unsigned aux0)
+{
+    rmp_assert(a < cells_.size(), "bad operand");
+    Cell c;
+    c.op = op;
+    c.width = result_width;
+    c.args[0] = a;
+    c.aux0 = aux0;
+    switch (op) {
+      case Op::Not:
+        rmp_assert(result_width == cells_[a].width, "not width");
+        break;
+      case Op::RedOr:
+      case Op::RedAnd:
+        rmp_assert(result_width == 1, "reduction width");
+        break;
+      case Op::Slice:
+        rmp_assert(aux0 + result_width <= cells_[a].width,
+                   "slice [%u +: %u] out of %u-bit signal", aux0,
+                   result_width, cells_[a].width);
+        break;
+      case Op::Zext:
+        rmp_assert(result_width >= cells_[a].width, "zext narrows");
+        break;
+      default:
+        rmp_panic("addUnary: op %s is not unary", opName(op));
+    }
+    return push(std::move(c));
+}
+
+SigId
+Design::addBinary(Op op, SigId a, SigId b)
+{
+    rmp_assert(a < cells_.size() && b < cells_.size(), "bad operand");
+    unsigned wa = cells_[a].width, wb = cells_[b].width;
+    unsigned rw = 0;
+    switch (op) {
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+        rmp_assert(wa == wb, "%s width mismatch %u vs %u", opName(op), wa,
+                   wb);
+        rw = wa;
+        break;
+      case Op::Shl:
+      case Op::Shr:
+        rw = wa;
+        break;
+      case Op::Eq:
+      case Op::Ult:
+        rmp_assert(wa == wb, "%s width mismatch %u vs %u", opName(op), wa,
+                   wb);
+        rw = 1;
+        break;
+      case Op::Concat:
+        rw = wa + wb;
+        rmp_assert(rw <= 64, "concat exceeds 64 bits");
+        break;
+      default:
+        rmp_panic("addBinary: op %s is not binary", opName(op));
+    }
+    Cell c;
+    c.op = op;
+    c.width = rw;
+    c.args[0] = a;
+    c.args[1] = b;
+    return push(std::move(c));
+}
+
+SigId
+Design::addBinaryW(Op op, SigId a, SigId b, unsigned result_width)
+{
+    SigId id = addBinary(op, a, b);
+    rmp_assert(cells_[id].width == result_width, "addBinaryW width");
+    return id;
+}
+
+SigId
+Design::addMux(SigId sel, SigId a, SigId b)
+{
+    rmp_assert(sel < cells_.size() && a < cells_.size() && b < cells_.size(),
+               "bad operand");
+    rmp_assert(cells_[sel].width == 1, "mux select must be 1 bit");
+    rmp_assert(cells_[a].width == cells_[b].width, "mux arm width mismatch");
+    Cell c;
+    c.op = Op::Mux;
+    c.width = cells_[a].width;
+    c.args[0] = sel;
+    c.args[1] = a;
+    c.args[2] = b;
+    return push(std::move(c));
+}
+
+SigId
+Design::addReg(const std::string &name, const BitVec &reset_value)
+{
+    Cell c;
+    c.op = Op::Reg;
+    c.width = reset_value.width();
+    c.cval = reset_value;
+    c.name = name;
+    SigId id = push(std::move(c));
+    regIds.push_back(id);
+    rmp_assert(!nameMap.count(name), "duplicate register name %s",
+               name.c_str());
+    nameMap[name] = id;
+    return id;
+}
+
+void
+Design::connectRegNext(SigId reg, SigId next)
+{
+    rmp_assert(reg < cells_.size() && cells_[reg].op == Op::Reg,
+               "connectRegNext on non-register");
+    rmp_assert(cells_[reg].args[0] == kNoSig,
+               "register %s already connected", cells_[reg].name.c_str());
+    rmp_assert(cells_[next].width == cells_[reg].width,
+               "register %s next width %u != %u", cells_[reg].name.c_str(),
+               cells_[next].width, cells_[reg].width);
+    cells_[reg].args[0] = next;
+}
+
+void
+Design::setName(SigId id, const std::string &name)
+{
+    rmp_assert(id < cells_.size(), "bad signal");
+    if (cells_[id].name.empty() && !nameMap.count(name)) {
+        cells_[id].name = name;
+        nameMap[name] = id;
+    }
+}
+
+SigId
+Design::findByName(const std::string &name) const
+{
+    auto it = nameMap.find(name);
+    return it == nameMap.end() ? kNoSig : it->second;
+}
+
+DesignStats
+Design::stats() const
+{
+    DesignStats s;
+    s.cells = cells_.size();
+    for (const auto &c : cells_) {
+        switch (c.op) {
+          case Op::Input:
+            s.inputs++;
+            break;
+          case Op::Reg:
+            s.registers++;
+            s.flopBits += c.width;
+            break;
+          case Op::Const:
+            s.constants++;
+            s.combCells++;
+            break;
+          default:
+            s.combCells++;
+        }
+    }
+    return s;
+}
+
+const std::vector<SigId> &
+Design::topoOrder() const
+{
+    if (topoValid)
+        return topoCache;
+    topoCache.clear();
+    topoCache.reserve(cells_.size());
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    std::vector<uint8_t> mark(cells_.size(), 0);
+    // Iterative DFS over combinational fan-in.
+    std::vector<std::pair<SigId, unsigned>> stack;
+    for (SigId root = 0; root < cells_.size(); root++) {
+        if (mark[root])
+            continue;
+        if (!isCombOp(cells_[root].op)) {
+            mark[root] = 2;
+            continue;
+        }
+        stack.emplace_back(root, 0);
+        mark[root] = 1;
+        while (!stack.empty()) {
+            SigId id = stack.back().first;
+            unsigned arg_idx = stack.back().second;
+            bool descended = false;
+            while (arg_idx < 3 && cells_[id].args[arg_idx] != kNoSig) {
+                SigId a = cells_[id].args[arg_idx++];
+                if (!isCombOp(cells_[a].op)) {
+                    mark[a] = 2;
+                    continue;
+                }
+                if (mark[a] == 1)
+                    rmp_fatal("combinational cycle through cell %u (%s %s)",
+                              a, opName(cells_[a].op),
+                              cells_[a].name.c_str());
+                if (mark[a] == 0) {
+                    stack.back().second = arg_idx;
+                    mark[a] = 1;
+                    stack.emplace_back(a, 0);
+                    descended = true;
+                    break;
+                }
+            }
+            if (!descended) {
+                mark[id] = 2;
+                topoCache.push_back(id);
+                stack.pop_back();
+            }
+        }
+    }
+    topoValid = true;
+    return topoCache;
+}
+
+std::vector<SigId>
+Design::combFanInSources(SigId sig) const
+{
+    return combFanInSources(std::vector<SigId>{sig});
+}
+
+std::vector<SigId>
+Design::combFanInSources(const std::vector<SigId> &sigs) const
+{
+    std::vector<uint8_t> seen(cells_.size(), 0);
+    std::vector<SigId> work;
+    std::vector<SigId> out;
+    for (SigId s : sigs) {
+        rmp_assert(s < cells_.size(), "bad signal");
+        if (!seen[s]) {
+            seen[s] = 1;
+            work.push_back(s);
+        }
+    }
+    while (!work.empty()) {
+        SigId id = work.back();
+        work.pop_back();
+        const Cell &c = cells_[id];
+        if (c.op == Op::Reg || c.op == Op::Input) {
+            out.push_back(id);
+            continue;
+        }
+        for (unsigned i = 0; i < 3 && c.args[i] != kNoSig; i++) {
+            SigId a = c.args[i];
+            if (!seen[a]) {
+                seen[a] = 1;
+                work.push_back(a);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+Design::validate() const
+{
+    for (SigId id = 0; id < cells_.size(); id++) {
+        const Cell &c = cells_[id];
+        if (c.op == Op::Reg && c.args[0] == kNoSig)
+            rmp_fatal("register %s has no next-state connection",
+                      c.name.c_str());
+        for (unsigned i = 0; i < 3; i++)
+            if (c.args[i] != kNoSig)
+                rmp_assert(c.args[i] < cells_.size(),
+                           "cell %u has dangling operand", id);
+    }
+    // Detects combinational cycles through register next-state logic too.
+    topoOrder();
+}
+
+} // namespace rmp

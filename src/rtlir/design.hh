@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Word-level synchronous netlist IR.
+ *
+ * This is the elaborated-design substrate that replaces the paper's
+ * SystemVerilog + Verific/Yosys frontend (DESIGN.md §1). A Design is a flat
+ * vector of cells; combinational cells form a DAG, Reg cells are the
+ * sequential boundary. All signals are 1..64 bits wide (BitVec).
+ *
+ * Registers reset synchronously to their reset value, giving the "valid
+ * reset state" from which all of the paper's properties are evaluated
+ * (§V-B). Memories are elaborated into register arrays by the Builder, so
+ * downstream passes (simulation, bit-blasting, IFT instrumentation) only
+ * ever see Input/Const/comb/Reg cells.
+ */
+
+#ifndef RTLIR_DESIGN_HH
+#define RTLIR_DESIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvec.hh"
+
+namespace rmp
+{
+
+/** Index of a cell (== of the signal it drives) within a Design. */
+using SigId = uint32_t;
+
+/** Sentinel for "no signal". */
+constexpr SigId kNoSig = static_cast<SigId>(-1);
+
+/** Cell operations. Comments give (operand widths) -> result width. */
+enum class Op : uint8_t
+{
+    Input,   ///< free symbolic input; fresh value every cycle
+    Const,   ///< constant (value in Cell::cval)
+    Not,     ///< (w) -> w, bitwise
+    And,     ///< (w, w) -> w
+    Or,      ///< (w, w) -> w
+    Xor,     ///< (w, w) -> w
+    RedOr,   ///< (w) -> 1
+    RedAnd,  ///< (w) -> 1
+    Eq,      ///< (w, w) -> 1
+    Ult,     ///< (w, w) -> 1, unsigned less-than
+    Add,     ///< (w, w) -> w, modulo 2^w
+    Sub,     ///< (w, w) -> w, modulo 2^w
+    Mul,     ///< (w, w) -> w, modulo 2^w
+    Shl,     ///< (w, k) -> w, shift left by unsigned amount
+    Shr,     ///< (w, k) -> w, logical shift right
+    Mux,     ///< (1, w, w) -> w; sel ? a : b
+    Slice,   ///< (w) -> width, bits [aux0 +: width]
+    Concat,  ///< (wh, wl) -> wh+wl; arg0 is the high part
+    Zext,    ///< (w) -> width >= w, zero extension
+    Reg,     ///< sequential; arg0 = next-state signal, cval = reset value
+};
+
+/** True for cells that neither latch nor introduce free values. */
+bool isCombOp(Op op);
+
+/** Human-readable op mnemonic. */
+const char *opName(Op op);
+
+/** One cell: it both computes and names the signal it drives. */
+struct Cell
+{
+    Op op = Op::Const;
+    unsigned width = 1;
+    SigId args[3] = {kNoSig, kNoSig, kNoSig};
+    /** Constant value (Const) or reset value (Reg). */
+    BitVec cval;
+    /** Slice low bit index. */
+    unsigned aux0 = 0;
+    /** Optional name (inputs, registers, and named wires). */
+    std::string name;
+
+    unsigned
+    numArgs() const
+    {
+        unsigned n = 0;
+        while (n < 3 && args[n] != kNoSig)
+            n++;
+        return n;
+    }
+};
+
+/** Aggregate size statistics for a design (cf. the paper's §VI counts). */
+struct DesignStats
+{
+    size_t cells = 0;       ///< total cells
+    size_t combCells = 0;   ///< combinational cells
+    size_t inputs = 0;      ///< free inputs
+    size_t registers = 0;   ///< Reg cells
+    size_t flopBits = 0;    ///< total register bits
+    size_t constants = 0;   ///< Const cells
+};
+
+/**
+ * A flat synchronous netlist.
+ *
+ * Cells are created through the add* methods (normally via Builder) and are
+ * immutable afterwards, except that a Reg's next-state input is connected
+ * late (connectRegNext) to allow sequential feedback loops.
+ */
+class Design
+{
+  public:
+    explicit Design(std::string name = "design") : _name(std::move(name)) {}
+
+    /** Design name (used in reports). */
+    const std::string &name() const { return _name; }
+
+    /** @name Cell construction */
+    /// @{
+    SigId addInput(const std::string &name, unsigned width);
+    SigId addConst(const BitVec &value);
+    SigId addUnary(Op op, SigId a, unsigned result_width, unsigned aux0 = 0);
+    SigId addBinary(Op op, SigId a, SigId b);
+    /** Compare/arith ops whose result width differs from operand width. */
+    SigId addBinaryW(Op op, SigId a, SigId b, unsigned result_width);
+    SigId addMux(SigId sel, SigId a, SigId b);
+    /** Create a register; next-state input is connected later. */
+    SigId addReg(const std::string &name, const BitVec &reset_value);
+    /** Connect a register's next-state input (exactly once). */
+    void connectRegNext(SigId reg, SigId next);
+    /// @}
+
+    /** Give a cell a (better) name; used for debug and PL rendering. */
+    void setName(SigId id, const std::string &name);
+
+    /** @name Introspection */
+    /// @{
+    const Cell &cell(SigId id) const { return cells_[id]; }
+    size_t numCells() const { return cells_.size(); }
+    unsigned width(SigId id) const { return cells_[id].width; }
+    const std::vector<SigId> &inputs() const { return inputIds; }
+    const std::vector<SigId> &registers() const { return regIds; }
+    /** Look up a named signal; kNoSig if absent. */
+    SigId findByName(const std::string &name) const;
+    DesignStats stats() const;
+    /// @}
+
+    /**
+     * Check structural invariants: widths consistent, registers connected,
+     * no combinational cycles. Calls rmp_fatal on violation.
+     */
+    void validate() const;
+
+    /**
+     * Combinational cells in topological order (inputs/consts/regs are
+     * sources). Cached; invalidated on cell creation.
+     */
+    const std::vector<SigId> &topoOrder() const;
+
+    /**
+     * The set of registers and inputs in the combinational fan-in cone of
+     * @p sig (stopping at sequential boundaries). Used by RTL2MμPATH's
+     * HB-edge candidate derivation (§V-B5).
+     */
+    std::vector<SigId> combFanInSources(SigId sig) const;
+
+    /** Like combFanInSources for several roots at once, de-duplicated. */
+    std::vector<SigId> combFanInSources(const std::vector<SigId> &sigs) const;
+
+  private:
+    SigId push(Cell c);
+
+    std::string _name;
+    std::vector<Cell> cells_;
+    std::vector<SigId> inputIds;
+    std::vector<SigId> regIds;
+    std::unordered_map<std::string, SigId> nameMap;
+    mutable std::vector<SigId> topoCache;
+    mutable bool topoValid = false;
+};
+
+} // namespace rmp
+
+#endif // RTLIR_DESIGN_HH

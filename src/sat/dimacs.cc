@@ -1,0 +1,76 @@
+#include "sat/dimacs.hh"
+
+#include <istream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rmp::sat
+{
+
+Cnf
+parseDimacs(std::istream &in)
+{
+    Cnf cnf;
+    std::string line;
+    int expected_clauses = -1;
+    std::vector<Lit> cur;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == 'c')
+            continue;
+        if (line[0] == 'p') {
+            std::istringstream hs(line);
+            std::string p, fmt;
+            hs >> p >> fmt >> cnf.numVars >> expected_clauses;
+            if (fmt != "cnf" || cnf.numVars < 0)
+                rmp_fatal("malformed DIMACS header: %s", line.c_str());
+            continue;
+        }
+        std::istringstream ls(line);
+        long v;
+        while (ls >> v) {
+            if (v == 0) {
+                cnf.clauses.push_back(cur);
+                cur.clear();
+                continue;
+            }
+            long var = v < 0 ? -v : v;
+            if (var > cnf.numVars)
+                rmp_fatal("DIMACS literal %ld exceeds declared vars", v);
+            cur.push_back(Lit(static_cast<Var>(var - 1), v < 0));
+        }
+    }
+    if (!cur.empty())
+        cnf.clauses.push_back(cur);
+    if (expected_clauses >= 0 &&
+        cnf.clauses.size() != static_cast<size_t>(expected_clauses))
+        warn(strfmt("DIMACS clause count %zu != declared %d",
+                    cnf.clauses.size(), expected_clauses));
+    return cnf;
+}
+
+std::string
+toDimacs(const Cnf &cnf)
+{
+    std::ostringstream os;
+    os << "p cnf " << cnf.numVars << " " << cnf.clauses.size() << "\n";
+    for (const auto &cl : cnf.clauses) {
+        for (Lit l : cl)
+            os << (l.sign() ? -(l.var() + 1) : l.var() + 1) << " ";
+        os << "0\n";
+    }
+    return os.str();
+}
+
+bool
+loadCnf(Solver &solver, const Cnf &cnf)
+{
+    while (solver.numVars() < cnf.numVars)
+        solver.newVar();
+    bool ok = true;
+    for (const auto &cl : cnf.clauses)
+        ok &= solver.addClause(cl);
+    return ok;
+}
+
+} // namespace rmp::sat

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * DIMACS CNF import/export for the SAT solver — lets formulas from the
+ * BMC engine be cross-checked against external solvers and external
+ * instances be replayed against ours during debugging.
+ */
+
+#ifndef SAT_DIMACS_HH
+#define SAT_DIMACS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hh"
+
+namespace rmp::sat
+{
+
+/** A parsed CNF: variable count plus clauses of literals. */
+struct Cnf
+{
+    int numVars = 0;
+    std::vector<std::vector<Lit>> clauses;
+};
+
+/**
+ * Parse DIMACS text ("p cnf V C" header, clauses terminated by 0,
+ * 'c' comment lines). Throws via rmp_fatal on malformed input.
+ */
+Cnf parseDimacs(std::istream &in);
+
+/** Render a CNF in DIMACS format. */
+std::string toDimacs(const Cnf &cnf);
+
+/** Load a CNF into a fresh solver; returns false if trivially unsat. */
+bool loadCnf(Solver &solver, const Cnf &cnf);
+
+} // namespace rmp::sat
+
+#endif // SAT_DIMACS_HH

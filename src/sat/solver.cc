@@ -1,0 +1,571 @@
+#include "sat/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace rmp::sat
+{
+
+Solver::Solver() = default;
+
+Var
+Solver::newVar()
+{
+    Var v = numVars();
+    assigns.push_back(LBool::Undef);
+    savedPhase.push_back(false);
+    level.push_back(0);
+    reason.push_back(kNoReason);
+    activity.push_back(0.0);
+    seen.push_back(0);
+    heapPos.push_back(-1);
+    watches.emplace_back();
+    watches.emplace_back();
+    heapInsert(v);
+    return v;
+}
+
+void
+Solver::heapInsert(Var v)
+{
+    if (heapPos[v] >= 0)
+        return;
+    heapPos[v] = static_cast<int>(heap.size());
+    heap.push_back(v);
+    heapPercolateUp(heapPos[v]);
+}
+
+void
+Solver::heapPercolateUp(int i)
+{
+    Var v = heap[i];
+    while (i > 0) {
+        int p = (i - 1) >> 1;
+        if (!heapLess(v, heap[p]))
+            break;
+        heap[i] = heap[p];
+        heapPos[heap[i]] = i;
+        i = p;
+    }
+    heap[i] = v;
+    heapPos[v] = i;
+}
+
+void
+Solver::heapPercolateDown(int i)
+{
+    Var v = heap[i];
+    int n = static_cast<int>(heap.size());
+    while (true) {
+        int l = 2 * i + 1, r = 2 * i + 2;
+        int best = i;
+        Var bv = v;
+        if (l < n && heapLess(heap[l], bv)) {
+            best = l;
+            bv = heap[l];
+        }
+        if (r < n && heapLess(heap[r], bv)) {
+            best = r;
+            bv = heap[r];
+        }
+        if (best == i)
+            break;
+        heap[i] = heap[best];
+        heapPos[heap[i]] = i;
+        heap[best] = v; // placeholder; fixed on next iteration/exit
+        heapPos[v] = best;
+        i = best;
+    }
+    heap[i] = v;
+    heapPos[v] = i;
+}
+
+LBool
+Solver::litValue(Lit l) const
+{
+    LBool v = assigns[l.var()];
+    if (v == LBool::Undef)
+        return LBool::Undef;
+    bool b = (v == LBool::True) != l.sign();
+    return b ? LBool::True : LBool::False;
+}
+
+bool
+Solver::addClause(std::vector<Lit> lits)
+{
+    if (!okay)
+        return false;
+    // Incremental use: clauses may arrive between solve() calls while the
+    // trail still holds assumption levels from the previous query.
+    backtrack(0);
+    std::sort(lits.begin(), lits.end());
+    // Remove duplicates; detect tautologies; drop false literals.
+    std::vector<Lit> out;
+    for (size_t i = 0; i < lits.size(); i++) {
+        Lit l = lits[i];
+        if (i + 1 < lits.size() && lits[i + 1] == ~l)
+            return true; // tautology: l and ~l adjacent after sort by x
+        if (!out.empty() && out.back() == l)
+            continue;
+        LBool v = litValue(l);
+        if (v == LBool::True)
+            return true;
+        if (v == LBool::False)
+            continue;
+        out.push_back(l);
+    }
+    if (out.empty()) {
+        okay = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], kNoReason);
+        if (propagate() != kNoReason) {
+            okay = false;
+            return false;
+        }
+        return true;
+    }
+    Clause c;
+    c.lits = std::move(out);
+    clauses.push_back(std::move(c));
+    attachClause(static_cast<ClauseRef>(clauses.size() - 1));
+    return true;
+}
+
+void
+Solver::attachClause(ClauseRef cref)
+{
+    const Clause &c = clauses[cref];
+    watches[(~c.lits[0]).x].push_back({cref, c.lits[1]});
+    watches[(~c.lits[1]).x].push_back({cref, c.lits[0]});
+}
+
+void
+Solver::enqueue(Lit l, ClauseRef r)
+{
+    rmp_assert(litValue(l) == LBool::Undef, "enqueue of assigned literal");
+    assigns[l.var()] = l.sign() ? LBool::False : LBool::True;
+    level[l.var()] = static_cast<int>(trailLim.size());
+    reason[l.var()] = r;
+    trail.push_back(l);
+}
+
+Solver::ClauseRef
+Solver::propagate()
+{
+    while (qhead < trail.size()) {
+        Lit p = trail[qhead++];
+        stats_.propagations++;
+        std::vector<Watcher> &ws = watches[p.x];
+        size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            Watcher w = ws[i];
+            if (litValue(w.blocker) == LBool::True) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            Clause &c = clauses[w.cref];
+            // Make sure the false literal is lits[1].
+            Lit false_lit = ~p;
+            if (c.lits[0] == false_lit)
+                std::swap(c.lits[0], c.lits[1]);
+            rmp_assert(c.lits[1] == false_lit, "watch invariant");
+            i++;
+            Lit first = c.lits[0];
+            if (litValue(first) == LBool::True) {
+                ws[j++] = {w.cref, first};
+                continue;
+            }
+            // Look for a new literal to watch.
+            bool found = false;
+            for (size_t k = 2; k < c.lits.size(); k++) {
+                if (litValue(c.lits[k]) != LBool::False) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches[(~c.lits[1]).x].push_back({w.cref, first});
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                continue;
+            // Unit or conflicting.
+            ws[j++] = {w.cref, first};
+            if (litValue(first) == LBool::False) {
+                // Conflict: copy remaining watchers and bail out.
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+                ws.resize(j);
+                qhead = trail.size();
+                return w.cref;
+            }
+            enqueue(first, w.cref);
+        }
+        ws.resize(j);
+    }
+    return kNoReason;
+}
+
+void
+Solver::bumpVar(Var v)
+{
+    activity[v] += varInc;
+    if (activity[v] > 1e100) {
+        for (auto &a : activity)
+            a *= 1e-100;
+        varInc *= 1e-100;
+    }
+    if (heapPos[v] >= 0)
+        heapPercolateUp(heapPos[v]);
+}
+
+void
+Solver::bumpClause(Clause &c)
+{
+    c.activity += claInc;
+    if (c.activity > 1e20) {
+        for (auto &cl : clauses)
+            if (cl.learned)
+                cl.activity *= 1e-20;
+        claInc *= 1e-20;
+    }
+}
+
+void
+Solver::decayActivities()
+{
+    varInc /= 0.95;
+    claInc /= 0.999;
+}
+
+void
+Solver::analyze(ClauseRef confl, std::vector<Lit> &out_learned,
+                int &out_btlevel)
+{
+    out_learned.clear();
+    out_learned.push_back(Lit()); // placeholder for asserting literal
+    int path_count = 0;
+    Lit p;
+    bool have_p = false;
+    size_t index = trail.size();
+    int cur_level = static_cast<int>(trailLim.size());
+
+    do {
+        rmp_assert(confl != kNoReason, "analyze with no reason");
+        Clause &c = clauses[confl];
+        if (c.learned)
+            bumpClause(c);
+        for (size_t k = have_p ? 1 : 0; k < c.lits.size(); k++) {
+            Lit q = c.lits[k];
+            if (have_p && q == p)
+                continue;
+            Var v = q.var();
+            if (!seen[v] && level[v] > 0) {
+                seen[v] = 1;
+                bumpVar(v);
+                if (level[v] >= cur_level)
+                    path_count++;
+                else
+                    out_learned.push_back(q);
+            }
+        }
+        // Select next literal on the trail to resolve on.
+        while (!seen[trail[index - 1].var()])
+            index--;
+        p = trail[--index];
+        have_p = true;
+        confl = reason[p.var()];
+        seen[p.var()] = 0;
+        path_count--;
+        // Reason clauses always hold their implied literal at lits[0]
+        // (propagate() enqueues first == lits[0], and a true lits[0] is
+        // never swapped away while p stays assigned), so the k=1 start in
+        // the loop above is sound for them.
+        if (path_count > 0 && confl == kNoReason)
+            rmp_panic("analyze: decision literal with pending paths");
+    } while (path_count > 0);
+    out_learned[0] = ~p;
+
+    // Clause minimization: drop literals implied by the rest. Literals
+    // removed here still carry their seen[] mark, so remember everything
+    // for the final clear (MiniSat's analyze_toclear).
+    std::vector<Lit> to_clear(out_learned.begin() + 1, out_learned.end());
+    uint32_t abstract_levels = 0;
+    for (size_t i = 1; i < out_learned.size(); i++)
+        abstract_levels |= 1u << (level[out_learned[i].var()] & 31);
+    size_t keep = 1;
+    for (size_t i = 1; i < out_learned.size(); i++) {
+        Lit l = out_learned[i];
+        if (reason[l.var()] == kNoReason ||
+            !litRedundant(l, abstract_levels)) {
+            out_learned[keep++] = l;
+        }
+    }
+    out_learned.resize(keep);
+
+    // Compute backtrack level = second-highest level in the clause.
+    if (out_learned.size() == 1) {
+        out_btlevel = 0;
+    } else {
+        size_t max_i = 1;
+        for (size_t i = 2; i < out_learned.size(); i++)
+            if (level[out_learned[i].var()] >
+                level[out_learned[max_i].var()])
+                max_i = i;
+        std::swap(out_learned[1], out_learned[max_i]);
+        out_btlevel = level[out_learned[1].var()];
+    }
+
+    seen[out_learned[0].var()] = 0;
+    for (Lit l : to_clear)
+        seen[l.var()] = 0;
+}
+
+bool
+Solver::litRedundant(Lit l, uint32_t abstract_levels)
+{
+    // DFS through the implication graph; l is redundant if every path
+    // terminates in literals already in the learned clause.
+    std::vector<Lit> stack{l};
+    std::vector<Var> cleared;
+    bool ok = true;
+    while (!stack.empty() && ok) {
+        Lit cur = stack.back();
+        stack.pop_back();
+        ClauseRef r = reason[cur.var()];
+        if (r == kNoReason) {
+            ok = false;
+            break;
+        }
+        const Clause &c = clauses[r];
+        for (Lit q : c.lits) {
+            Var v = q.var();
+            if (v == cur.var() || seen[v] || level[v] == 0)
+                continue;
+            if (reason[v] == kNoReason ||
+                !(abstract_levels & (1u << (level[v] & 31)))) {
+                ok = false;
+                break;
+            }
+            seen[v] = 2;
+            cleared.push_back(v);
+            stack.push_back(q);
+        }
+    }
+    for (Var v : cleared)
+        if (seen[v] == 2)
+            seen[v] = 0;
+    return ok;
+}
+
+void
+Solver::backtrack(int lvl)
+{
+    if (static_cast<int>(trailLim.size()) <= lvl)
+        return;
+    for (size_t i = trail.size(); i > static_cast<size_t>(trailLim[lvl]);
+         i--) {
+        Var v = trail[i - 1].var();
+        savedPhase[v] = assigns[v] == LBool::True;
+        assigns[v] = LBool::Undef;
+        reason[v] = kNoReason;
+        heapInsert(v);
+    }
+    trail.resize(trailLim[lvl]);
+    trailLim.resize(lvl);
+    qhead = trail.size();
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    // Pop the activity-ordered heap until an unassigned variable surfaces.
+    while (!heap.empty()) {
+        Var v = heap[0];
+        Var last = heap.back();
+        heap.pop_back();
+        heapPos[v] = -1;
+        if (!heap.empty() && last != v) {
+            heap[0] = last;
+            heapPos[last] = 0;
+            heapPercolateDown(0);
+        }
+        if (assigns[v] == LBool::Undef)
+            return Lit(v, !savedPhase[v]);
+    }
+    return Lit();
+}
+
+void
+Solver::reduceDB()
+{
+    // Remove the least active half of long learned clauses that are not
+    // currently reasons.
+    std::vector<ClauseRef> learned;
+    for (ClauseRef i = 0; i < static_cast<ClauseRef>(clauses.size()); i++)
+        if (clauses[i].learned && clauses[i].lits.size() > 2)
+            learned.push_back(i);
+    if (learned.size() < 2000)
+        return;
+    std::sort(learned.begin(), learned.end(), [&](ClauseRef a, ClauseRef b) {
+        return clauses[a].activity < clauses[b].activity;
+    });
+    std::vector<bool> locked(clauses.size(), false);
+    for (Lit l : trail)
+        if (reason[l.var()] != kNoReason)
+            locked[reason[l.var()]] = true;
+    size_t removed = 0;
+    for (size_t i = 0; i < learned.size() / 2; i++) {
+        ClauseRef cref = learned[i];
+        if (locked[cref] || clauses[cref].lits.empty())
+            continue;
+        // Detach from watch lists lazily: mark as empty and filter watches.
+        for (int w = 0; w < 2; w++) {
+            auto &ws = watches[(~clauses[cref].lits[w]).x];
+            ws.erase(std::remove_if(
+                         ws.begin(), ws.end(),
+                         [&](const Watcher &x) { return x.cref == cref; }),
+                     ws.end());
+        }
+        clauses[cref].lits.clear();
+        removed++;
+    }
+    stats_.removedClauses += removed;
+}
+
+uint64_t
+Solver::luby(uint64_t i)
+{
+    // Luby sequence: 1 1 2 1 1 2 4 ...
+    uint64_t k = 1;
+    while ((1ULL << (k + 1)) <= i + 1)
+        k++;
+    while ((1ULL << k) - 1 != i + 1) {
+        i = i - ((1ULL << k) - 1);
+        k = 1;
+        while ((1ULL << (k + 1)) <= i + 1)
+            k++;
+    }
+    return 1ULL << (k - 1);
+}
+
+SatResult
+Solver::solve(const std::vector<Lit> &assumptions, const SatBudget &budget)
+{
+    if (!okay)
+        return SatResult::Unsat;
+    backtrack(0);
+    uint64_t conflicts_start = stats_.conflicts;
+    uint64_t props_start = stats_.propagations;
+    uint64_t restart_num = 0;
+    uint64_t restart_limit = 64 * luby(restart_num);
+    uint64_t conflicts_this_restart = 0;
+
+    std::vector<Lit> learned;
+    while (true) {
+        ClauseRef confl = propagate();
+        if (confl != kNoReason) {
+            stats_.conflicts++;
+            conflicts_this_restart++;
+            if (trailLim.empty()) {
+                // Conflict at root level: the formula itself is unsat.
+                // Record it permanently — the conflict path advanced qhead
+                // past the falsified literals, so a later solve() would
+                // otherwise never rediscover it.
+                okay = false;
+                return SatResult::Unsat;
+            }
+            int btlevel = 0;
+            analyze(confl, learned, btlevel);
+            backtrack(btlevel);
+            if (learned.size() == 1) {
+                enqueue(learned[0], kNoReason);
+            } else {
+                Clause c;
+                c.lits = learned;
+                c.learned = true;
+                clauses.push_back(std::move(c));
+                ClauseRef cref = static_cast<ClauseRef>(clauses.size() - 1);
+                attachClause(cref);
+                bumpClause(clauses[cref]);
+                enqueue(learned[0], cref);
+                stats_.learnedClauses++;
+            }
+            decayActivities();
+            if (budget.maxConflicts &&
+                stats_.conflicts - conflicts_start >= budget.maxConflicts)
+                return SatResult::Undetermined;
+            if (budget.maxPropagations &&
+                stats_.propagations - props_start >= budget.maxPropagations)
+                return SatResult::Undetermined;
+            continue;
+        }
+        if (conflicts_this_restart >= restart_limit) {
+            // Restart: keep assumptions logic simple by going to root.
+            stats_.restarts++;
+            restart_num++;
+            restart_limit = 64 * luby(restart_num);
+            conflicts_this_restart = 0;
+            backtrack(0);
+            reduceDB();
+            continue;
+        }
+        // Apply pending assumptions as pseudo-decisions.
+        Lit next;
+        bool have_next = false;
+        if (trailLim.size() < assumptions.size()) {
+            Lit a = assumptions[trailLim.size()];
+            LBool v = litValue(a);
+            if (v == LBool::True) {
+                // Already satisfied: open an empty decision level.
+                trailLim.push_back(static_cast<int>(trail.size()));
+                continue;
+            }
+            if (v == LBool::False) {
+                // Conflicting assumption set.
+                return SatResult::Unsat;
+            }
+            next = a;
+            have_next = true;
+        }
+        if (!have_next) {
+            next = pickBranchLit();
+            if (next.x < 0) {
+                // All variables assigned: SAT. Under RMP_SAT_CHECK_MODELS
+                // (exported by the test suite) self-check the model
+                // against every clause so a solver bug can never silently
+                // corrupt a verification verdict. (The BMC layer
+                // additionally replays every witness on the simulator.)
+                static const bool check_models =
+                    std::getenv("RMP_SAT_CHECK_MODELS") != nullptr;
+                if (check_models) {
+                    for (const Clause &c : clauses) {
+                        if (c.lits.empty())
+                            continue;
+                        bool any = false;
+                        for (Lit l : c.lits)
+                            if (litValue(l) == LBool::True)
+                                any = true;
+                        rmp_assert(any, "SAT model violates a clause");
+                    }
+                }
+                model.assign(trail.begin(), trail.end());
+                return SatResult::Sat;
+            }
+            stats_.decisions++;
+        }
+        trailLim.push_back(static_cast<int>(trail.size()));
+        enqueue(next, kNoReason);
+    }
+}
+
+bool
+Solver::modelValue(Var v) const
+{
+    return assigns[v] == LBool::True;
+}
+
+} // namespace rmp::sat

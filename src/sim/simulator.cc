@@ -1,0 +1,132 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace rmp
+{
+
+Simulator::Simulator(const Design &design) : d(design)
+{
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    regs.assign(d.numCells(), 0);
+    vals.assign(d.numCells(), 0);
+    for (SigId r : d.registers())
+        regs[r] = d.cell(r).cval.value();
+    trace_.frames.clear();
+    stepped = false;
+}
+
+namespace
+{
+
+uint64_t
+evalCell(const Cell &c, const std::vector<uint64_t> &vals)
+{
+    uint64_t mask = BitVec::maskOf(c.width);
+    auto a = [&]() { return vals[c.args[0]]; };
+    auto b = [&]() { return vals[c.args[1]]; };
+    switch (c.op) {
+      case Op::Const:
+        return c.cval.value();
+      case Op::Not:
+        return ~a() & mask;
+      case Op::And:
+        return a() & b();
+      case Op::Or:
+        return a() | b();
+      case Op::Xor:
+        return a() ^ b();
+      case Op::RedOr:
+        return a() != 0;
+      case Op::Eq:
+        return a() == b();
+      case Op::Ult:
+        return a() < b();
+      case Op::Add:
+        return (a() + b()) & mask;
+      case Op::Sub:
+        return (a() - b()) & mask;
+      case Op::Mul:
+        return (a() * b()) & mask;
+      case Op::Shl: {
+          uint64_t sh = b();
+          return sh >= 64 ? 0 : (a() << sh) & mask;
+      }
+      case Op::Shr: {
+          uint64_t sh = b();
+          return sh >= 64 ? 0 : (a() >> sh) & mask;
+      }
+      case Op::Slice:
+        return (a() >> c.aux0) & mask;
+      case Op::Zext:
+        return a();
+      default:
+        // RedAnd/Mux/Concat need operand-width context and are handled by
+        // the caller; Input/Reg are seeded before evaluation.
+        rmp_panic("evalCell: unexpected op %s", opName(c.op));
+    }
+}
+
+} // anonymous namespace
+
+void
+Simulator::step(const InputMap &inputs)
+{
+    // Seed sources: registers and inputs.
+    for (SigId r : d.registers())
+        vals[r] = regs[r];
+    for (SigId in : d.inputs()) {
+        auto it = inputs.find(in);
+        vals[in] = it == inputs.end()
+                       ? 0
+                       : (it->second & BitVec::maskOf(d.cell(in).width));
+    }
+    // Evaluate combinational cells in topological order.
+    for (SigId id : d.topoOrder()) {
+        const Cell &c = d.cell(id);
+        switch (c.op) {
+          case Op::RedAnd: {
+              const Cell &ac = d.cell(c.args[0]);
+              vals[id] = vals[c.args[0]] == BitVec::maskOf(ac.width);
+              break;
+          }
+          case Op::Mux:
+            vals[id] = vals[c.args[0]] ? vals[c.args[1]] : vals[c.args[2]];
+            break;
+          case Op::Concat: {
+              const Cell &lo = d.cell(c.args[1]);
+              vals[id] = (vals[c.args[0]] << lo.width) | vals[c.args[1]];
+              break;
+          }
+          default:
+            vals[id] = evalCell(c, vals);
+        }
+    }
+    if (recording)
+        trace_.frames.push_back(vals);
+    // Latch registers.
+    for (SigId r : d.registers())
+        regs[r] = vals[d.cell(r).args[0]];
+    stepped = true;
+}
+
+uint64_t
+Simulator::value(SigId sig) const
+{
+    rmp_assert(stepped, "value() before any step()");
+    return vals[sig];
+}
+
+uint64_t
+Simulator::regValue(SigId reg) const
+{
+    rmp_assert(d.cell(reg).op == Op::Reg, "regValue on non-register");
+    return regs[reg];
+}
+
+} // namespace rmp

@@ -1,0 +1,92 @@
+#include "sim/vcd.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rmp
+{
+
+namespace
+{
+
+/** VCD identifier code for the n-th dumped signal. */
+std::string
+vcdId(size_t n)
+{
+    std::string s;
+    do {
+        s += static_cast<char>('!' + n % 94);
+        n /= 94;
+    } while (n);
+    return s;
+}
+
+std::string
+vcdBits(uint64_t value, unsigned width)
+{
+    std::string s;
+    for (int i = static_cast<int>(width) - 1; i >= 0; i--)
+        s += ((value >> i) & 1) ? '1' : '0';
+    return s;
+}
+
+} // anonymous namespace
+
+std::string
+traceToVcd(const Design &design, const SimTrace &trace,
+           const std::vector<SigId> &signals)
+{
+    std::vector<SigId> dump = signals;
+    if (dump.empty()) {
+        for (SigId i = 0; i < design.numCells(); i++)
+            if (!design.cell(i).name.empty())
+                dump.push_back(i);
+    }
+    std::ostringstream os;
+    os << "$date rtl2mupath reproduction $end\n"
+       << "$version rmp::traceToVcd $end\n"
+       << "$timescale 1ns $end\n"
+       << "$scope module " << design.name() << " $end\n";
+    for (size_t i = 0; i < dump.size(); i++) {
+        const Cell &c = design.cell(dump[i]);
+        std::string name = c.name;
+        for (auto &ch : name)
+            if (ch == ' ' || ch == '[' || ch == ']')
+                ch = '_';
+        os << "$var wire " << c.width << " " << vcdId(i) << " " << name
+           << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+    std::vector<uint64_t> prev(dump.size(), ~0ULL);
+    for (size_t t = 0; t < trace.numCycles(); t++) {
+        os << "#" << t << "\n";
+        for (size_t i = 0; i < dump.size(); i++) {
+            uint64_t v = trace.value(t, dump[i]);
+            if (v == prev[i])
+                continue;
+            prev[i] = v;
+            unsigned w = design.cell(dump[i]).width;
+            if (w == 1)
+                os << (v ? '1' : '0') << vcdId(i) << "\n";
+            else
+                os << "b" << vcdBits(v, w) << " " << vcdId(i) << "\n";
+        }
+    }
+    os << "#" << trace.numCycles() << "\n";
+    return os.str();
+}
+
+bool
+writeVcd(const Design &design, const SimTrace &trace,
+         const std::string &path, const std::vector<SigId> &signals)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << traceToVcd(design, trace, signals);
+    return static_cast<bool>(f);
+}
+
+} // namespace rmp

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * VCD (Value Change Dump) export for simulation traces, so witnesses and
+ * program runs can be inspected in any waveform viewer — the equivalent
+ * of the paper's "RTL waveforms produced by RTL2MμPATH's reachable SVA
+ * cover properties" (§VII-B2), through which they localized the CVA6
+ * scoreboard bug.
+ */
+
+#ifndef SIM_VCD_HH
+#define SIM_VCD_HH
+
+#include <string>
+#include <vector>
+
+#include "rtlir/design.hh"
+#include "sim/simulator.hh"
+
+namespace rmp
+{
+
+/**
+ * Serialize the named signals of @p trace as a VCD document.
+ * Only named cells (inputs, registers, named wires) are dumped unless
+ * @p signals narrows the selection.
+ */
+std::string traceToVcd(const Design &design, const SimTrace &trace,
+                       const std::vector<SigId> &signals = {});
+
+/** Write traceToVcd() output to @p path; returns false on I/O failure. */
+bool writeVcd(const Design &design, const SimTrace &trace,
+              const std::string &path,
+              const std::vector<SigId> &signals = {});
+
+} // namespace rmp
+
+#endif // SIM_VCD_HH

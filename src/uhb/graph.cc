@@ -1,0 +1,119 @@
+#include "uhb/graph.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rmp::uhb
+{
+
+const char *
+revisitName(Revisit r)
+{
+    switch (r) {
+      case Revisit::None: return "none";
+      case Revisit::Consecutive: return "consecutive";
+      case Revisit::NonConsecutive: return "non-consecutive";
+      case Revisit::Both: return "both";
+    }
+    return "?";
+}
+
+std::vector<PlId>
+InstrPaths::decisionSources() const
+{
+    std::map<PlId, std::set<std::vector<PlId>>> by_src;
+    for (const auto &d : decisions)
+        by_src[d.src].insert(d.dst);
+    std::vector<PlId> out;
+    for (const auto &[src, dsts] : by_src)
+        if (dsts.size() >= 2)
+            out.push_back(src);
+    return out;
+}
+
+std::string
+renderUPath(const UPath &path, const std::vector<std::string> &pl_names)
+{
+    // Collect rows in order of first visit.
+    std::vector<PlId> rows;
+    for (const auto &cyc : path.schedule)
+        for (PlId p : cyc)
+            if (std::find(rows.begin(), rows.end(), p) == rows.end())
+                rows.push_back(p);
+    size_t label_w = 0;
+    for (PlId p : rows)
+        label_w = std::max(label_w, pl_names[p].size());
+
+    std::ostringstream os;
+    os << "cycle:";
+    os << std::string(label_w > 5 ? label_w - 5 : 1, ' ');
+    for (size_t t = 0; t < path.schedule.size(); t++)
+        os << (t < 10 ? "  " : " ") << t;
+    os << '\n';
+    for (PlId p : rows) {
+        const std::string &name = pl_names[p];
+        os << name << std::string(label_w - name.size() + 1, ' ');
+        for (size_t t = 0; t < path.schedule.size(); t++) {
+            bool vis = std::find(path.schedule[t].begin(),
+                                 path.schedule[t].end(),
+                                 p) != path.schedule[t].end();
+            os << "  " << (vis ? '*' : '.');
+        }
+        auto rv = path.revisit.find(p);
+        if (rv != path.revisit.end() && rv->second != Revisit::None)
+            os << "   [" << revisitName(rv->second) << "]";
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+renderUPathDot(const UPath &path, const std::vector<std::string> &pl_names,
+               const std::vector<Decision> &decisions)
+{
+    std::set<PlId> srcs;
+    std::set<PlId> dsts;
+    for (const auto &d : decisions) {
+        srcs.insert(d.src);
+        dsts.insert(d.dst.begin(), d.dst.end());
+    }
+    auto node_id = [](PlId p, unsigned t) {
+        return "n" + std::to_string(p) + "_" + std::to_string(t);
+    };
+    std::ostringstream os;
+    os << "digraph upath {\n  rankdir=LR;\n  node [shape=circle, "
+          "fontsize=10];\n";
+    // Nodes per (PL, cycle).
+    for (unsigned t = 0; t < path.schedule.size(); t++) {
+        for (PlId p : path.schedule[t]) {
+            const char *color = srcs.count(p)   ? "orange"
+                                : dsts.count(p) ? "lightblue"
+                                                : "white";
+            os << "  " << node_id(p, t) << " [label=\"" << pl_names[p]
+               << "\\n@" << t << "\", style=filled, fillcolor=" << color
+               << "];\n";
+        }
+    }
+    for (const auto &e : path.edges) {
+        os << "  " << node_id(e.from, e.fromCycle) << " -> "
+           << node_id(e.to, e.toCycle) << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+renderDecision(const Decision &d, const std::vector<std::string> &pl_names)
+{
+    std::string s = "(" + pl_names[d.src] + ", {";
+    for (size_t i = 0; i < d.dst.size(); i++) {
+        if (i)
+            s += ", ";
+        s += pl_names[d.dst[i]];
+    }
+    return s + "})";
+}
+
+} // namespace rmp::uhb

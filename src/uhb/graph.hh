@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Cycle-accurate μHB graphs, μPATHs, and decisions (§III-B, §IV-B).
+ *
+ * A node is (PL, cycle): the instruction updating that PL's state subset in
+ * that specific cycle; edges are one-cycle happens-before relations. A
+ * μPATH additionally records the exact Reachable PL Set it concretizes,
+ * revisit classifications (for Row(1)/Row(l) summarization), and the
+ * happens-before edges verified against combinational connectivity.
+ */
+
+#ifndef UHB_GRAPH_HH
+#define UHB_GRAPH_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "uhb/duv.hh"
+#include "uhb/ufsm.hh"
+
+namespace rmp::uhb
+{
+
+/** How a PL may be revisited within executions of one Reachable PL Set. */
+enum class Revisit : uint8_t
+{
+    None,          ///< visited at most once
+    Consecutive,   ///< may be revisited in consecutive cycles (Row(1)/(l))
+    NonConsecutive,///< may be revisited after a gap
+    Both,
+};
+
+const char *revisitName(Revisit r);
+
+/** A verified happens-before edge between two cycle-accurate nodes. */
+struct HbEdge
+{
+    PlId from = kNoPl;
+    unsigned fromCycle = 0;
+    PlId to = kNoPl;
+    unsigned toCycle = 0;
+};
+
+/**
+ * One synthesized μPATH: a concrete cycle-accurate execution shape of one
+ * instruction, plus set-level facts that hold across all executions
+ * exhibiting the same Reachable PL Set.
+ */
+struct UPath
+{
+    InstrId instr = 0;
+
+    /**
+     * Concrete schedule from the witness execution: schedule[t] = PLs the
+     * instruction occupies in relative cycle t (t=0 is its first visit).
+     */
+    std::vector<std::vector<PlId>> schedule;
+
+    /** The exact Reachable PL Set this μPATH concretizes. */
+    std::set<PlId> plSet;
+
+    /** Revisit classification per PL in plSet (set-level, verified). */
+    std::map<PlId, Revisit> revisit;
+
+    /**
+     * Achievable consecutive-visit counts per PL (§V-B6 mode (i));
+     * populated only when revisit-count synthesis is enabled.
+     */
+    std::map<PlId, std::vector<unsigned>> revisitCounts;
+
+    /** Verified HB edges over the concrete schedule. */
+    std::vector<HbEdge> edges;
+
+    /** Overall latency: number of cycles from first visit to last. */
+    unsigned latency() const
+    {
+        return static_cast<unsigned>(schedule.size());
+    }
+};
+
+/**
+ * A decision (src, dst): the instruction visits src one cycle before
+ * exactly the PLs in dst (§IV-B). dst is kept sorted for set semantics.
+ */
+struct Decision
+{
+    PlId src = kNoPl;
+    std::vector<PlId> dst;
+
+    bool
+    operator<(const Decision &o) const
+    {
+        if (src != o.src)
+            return src < o.src;
+        return dst < o.dst;
+    }
+    bool
+    operator==(const Decision &o) const
+    {
+        return src == o.src && dst == o.dst;
+    }
+};
+
+/** All μPATHs plus all decisions for one instruction on one DUV. */
+struct InstrPaths
+{
+    InstrId instr = 0;
+    std::vector<UPath> paths;
+    std::vector<Decision> decisions;
+    /** Decision sources (src PLs appearing in >= 2 distinct decisions). */
+    std::vector<PlId> decisionSources() const;
+};
+
+/**
+ * Render a μPATH as an ASCII grid in the style of the paper's figures:
+ * rows are PL labels, columns are cycles, '*' marks a visit.
+ */
+std::string renderUPath(const UPath &path,
+                        const std::vector<std::string> &pl_names);
+
+/** Render a decision like "(issue, {LSQ, ldStall})". */
+std::string renderDecision(const Decision &d,
+                           const std::vector<std::string> &pl_names);
+
+/**
+ * Render a μPATH as a Graphviz digraph in the visual style of the
+ * paper's μHB figures: one row per PL, one column per cycle, solid
+ * happens-before edges. Decision sources/destinations can be highlighted
+ * (orange/blue, as in the paper) by passing the instruction's decisions.
+ */
+std::string renderUPathDot(const UPath &path,
+                           const std::vector<std::string> &pl_names,
+                           const std::vector<Decision> &decisions = {});
+
+} // namespace rmp::uhb
+
+#endif // UHB_GRAPH_HH

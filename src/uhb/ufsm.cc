@@ -1,0 +1,30 @@
+#include "uhb/ufsm.hh"
+
+namespace rmp::uhb
+{
+
+std::string
+plLabel(const MicroFsm &fsm, const PerfLoc &pl,
+        const std::vector<std::string> &state_aliases)
+{
+    (void)state_aliases;
+    for (const auto &[vals, label] : fsm.stateNames)
+        if (vals == pl.state)
+            return label;
+    // Single implicit occupied state: the μFSM name is the label.
+    bool trivial = fsm.vars.size() == 1 && pl.state.size() == 1 &&
+                   pl.state[0] == 1 && fsm.idleStates.size() == 1 &&
+                   fsm.idleStates[0].size() == 1 &&
+                   fsm.idleStates[0][0] == 0;
+    if (trivial)
+        return fsm.name;
+    std::string s = fsm.name + "{";
+    for (size_t i = 0; i < pl.state.size(); i++) {
+        if (i)
+            s += ",";
+        s += std::to_string(pl.state[i]);
+    }
+    return s + "}";
+}
+
+} // namespace rmp::uhb

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * μFSMs and performing locations (PLs), the paper's §III-C formalism.
+ *
+ * A μFSM is a tuple <iir, vars>: an instruction-identifying register (in
+ * this reproduction always a PC register, as RTL2MμPATH requires, §V-A)
+ * plus the state-variable registers whose valuation grants the occupying
+ * instruction exclusive write access to a subset of design state. A PL is
+ * a <μfsm, state> pair where state is a valid non-idle valuation of vars.
+ */
+
+#ifndef UHB_UFSM_HH
+#define UHB_UFSM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtlir/design.hh"
+
+namespace rmp::uhb
+{
+
+/** One μFSM: <pcr, vars> with its idle valuations. */
+struct MicroFsm
+{
+    /** Short name used in μHB row labels (e.g. "ID", "mulU", "scbCmt"). */
+    std::string name;
+    /** The PC register (the IIR in this reproduction). */
+    SigId pcr = kNoSig;
+    /** State-variable registers, in a fixed order. */
+    std::vector<SigId> vars;
+    /**
+     * Idle valuations of vars (one vector per idle state, parallel to
+     * vars). A PL exists for every non-idle valuation.
+     */
+    std::vector<std::vector<uint64_t>> idleStates;
+    /**
+     * Optional labels for specific non-idle valuations, e.g. the retire
+     * μFSM's states "scbCmt"/"scbExcp". Unnamed states render as
+     * name{v0,v1,...}.
+     */
+    std::vector<std::pair<std::vector<uint64_t>, std::string>> stateNames;
+};
+
+/** Index of a μFSM within a DUV's metadata. */
+using FsmId = uint32_t;
+
+/** A performing location: a μFSM in one specific non-idle state. */
+struct PerfLoc
+{
+    FsmId fsm = 0;
+    /** Valuation of the μFSM's vars, parallel to MicroFsm::vars. */
+    std::vector<uint64_t> state;
+
+    bool
+    operator==(const PerfLoc &o) const
+    {
+        return fsm == o.fsm && state == o.state;
+    }
+};
+
+/** Index of a PL within a DUV's enumerated PL universe. */
+using PlId = uint32_t;
+
+constexpr PlId kNoPl = static_cast<PlId>(-1);
+
+/**
+ * Render a PL label. Single-state μFSMs render as just the μFSM name;
+ * multi-state ones as name.sN or a user-supplied state alias.
+ */
+std::string plLabel(const MicroFsm &fsm, const PerfLoc &pl,
+                    const std::vector<std::string> &state_aliases = {});
+
+} // namespace rmp::uhb
+
+#endif // UHB_UFSM_HH

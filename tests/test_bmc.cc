@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the AIG, the unroller, the property layer, and the BMC engine:
+ * cover reachability/unreachability with witnesses, assumes, ##1 sequences,
+ * budgets, and randomized equivalence between the bit-blaster and the
+ * simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bmc/engine.hh"
+#include "rtlir/builder.hh"
+
+using namespace rmp;
+using namespace rmp::bmc;
+using namespace rmp::prop;
+
+TEST(Aig, ConstantFolding)
+{
+    Aig g;
+    AigLit a = g.addInput();
+    EXPECT_EQ(g.mkAnd(a, kFalse), kFalse);
+    EXPECT_EQ(g.mkAnd(a, kTrue), a);
+    EXPECT_EQ(g.mkAnd(a, a), a);
+    EXPECT_EQ(g.mkAnd(a, aigNot(a)), kFalse);
+    EXPECT_EQ(g.mkOr(a, kTrue), kTrue);
+    EXPECT_EQ(g.mkXor(a, a), kFalse);
+    EXPECT_EQ(g.mkXor(a, aigNot(a)), kTrue);
+}
+
+TEST(Aig, StructuralHashing)
+{
+    Aig g;
+    AigLit a = g.addInput();
+    AigLit b = g.addInput();
+    AigLit x = g.mkAnd(a, b);
+    AigLit y = g.mkAnd(b, a);
+    EXPECT_EQ(x, y);
+    size_t n = g.numAnds();
+    g.mkAnd(a, b);
+    EXPECT_EQ(g.numAnds(), n);
+}
+
+namespace
+{
+
+/** A free-running 4-bit counter design. */
+struct CounterDesign
+{
+    Design d{"counter"};
+    SigId cnt;
+
+    CounterDesign()
+    {
+        Builder b(d);
+        RegSig c = b.regh("cnt", 4, 0);
+        b.assign(c, c.q + b.lit(4, 1));
+        b.finalize();
+        cnt = c.q.id;
+    }
+};
+
+} // namespace
+
+TEST(Bmc, CounterReachesValueWithinBound)
+{
+    CounterDesign cd;
+    EngineConfig cfg;
+    cfg.bound = 10;
+    Engine eng(cd.d, cfg);
+    CoverResult r = eng.cover(pEq(cd.cnt, 7), {});
+    ASSERT_EQ(r.outcome, Outcome::Reachable);
+    EXPECT_EQ(r.witness.matchFrame, 7u);
+}
+
+TEST(Bmc, CounterCannotReachValueBeyondBound)
+{
+    CounterDesign cd;
+    EngineConfig cfg;
+    cfg.bound = 5;
+    Engine eng(cd.d, cfg);
+    CoverResult r = eng.cover(pEq(cd.cnt, 9), {});
+    EXPECT_EQ(r.outcome, Outcome::Unreachable);
+}
+
+TEST(Bmc, CoverAtSpecificFrame)
+{
+    CounterDesign cd;
+    EngineConfig cfg;
+    cfg.bound = 10;
+    Engine eng(cd.d, cfg);
+    EXPECT_EQ(eng.coverAt(pEq(cd.cnt, 3), {}, 3).outcome,
+              Outcome::Reachable);
+    EXPECT_EQ(eng.coverAt(pEq(cd.cnt, 3), {}, 4).outcome,
+              Outcome::Unreachable);
+}
+
+TEST(Bmc, SequenceDelayMatches)
+{
+    CounterDesign cd;
+    EngineConfig cfg;
+    cfg.bound = 10;
+    Engine eng(cd.d, cfg);
+    // cnt==2 ##1 cnt==3 is reachable; cnt==2 ##1 cnt==5 is not.
+    CoverResult r =
+        eng.cover(pDelay(pEq(cd.cnt, 2), 1, pEq(cd.cnt, 3)), {});
+    ASSERT_EQ(r.outcome, Outcome::Reachable);
+    EXPECT_EQ(r.witness.matchFrame, 2u);
+    EXPECT_EQ(eng.cover(pDelay(pEq(cd.cnt, 2), 1, pEq(cd.cnt, 5)), {})
+                  .outcome,
+              Outcome::Unreachable);
+}
+
+TEST(Bmc, InputDrivenCoverWithWitness)
+{
+    Design d("acc");
+    Builder b(d);
+    Sig in = b.input("in", 4);
+    RegSig acc = b.regh("acc", 8, 0);
+    b.assign(acc, acc.q + in.zext(8));
+    b.finalize();
+    EngineConfig cfg;
+    cfg.bound = 6;
+    Engine eng(d, cfg);
+    // Accumulator can reach 45 = 15*3 within 6 cycles (value appears the
+    // cycle after the last addend is applied).
+    CoverResult r = eng.cover(pEq(acc.q.id, 45), {});
+    ASSERT_EQ(r.outcome, Outcome::Reachable);
+    // Witness was replayed on the simulator by the engine; re-derive sum.
+    uint64_t sum = 0;
+    for (unsigned t = 0; t + 1 <= r.witness.matchFrame; t++)
+        sum += r.witness.inputs[t].at(in.id);
+    EXPECT_EQ(sum, 45u);
+    // 8-bit accumulator in 6 cycles cannot exceed 5*15 = 75.
+    EXPECT_EQ(eng.cover(pEq(acc.q.id, 80), {}).outcome,
+              Outcome::Unreachable);
+}
+
+TEST(Bmc, AssumesConstrainInputs)
+{
+    Design d("asm");
+    Builder b(d);
+    Sig in = b.input("in", 4);
+    RegSig seen = b.regh("seen", 1, 0);
+    b.when(in == b.lit(4, 9));
+    b.assign(seen, b.lit1(true));
+    b.end();
+    b.finalize();
+    EngineConfig cfg;
+    cfg.bound = 4;
+    Engine eng(d, cfg);
+    // Without assumes: in==9 reachable.
+    EXPECT_EQ(eng.cover(pBit(seen.q.id), {}).outcome, Outcome::Reachable);
+    // Assume in != 9 every cycle: unreachable.
+    EXPECT_EQ(eng.cover(pBit(seen.q.id), {pNot(pEq(in.id, 9))}).outcome,
+              Outcome::Unreachable);
+    // Assume in == 9 every cycle: still reachable.
+    EXPECT_EQ(eng.cover(pBit(seen.q.id), {pEq(in.id, 9)}).outcome,
+              Outcome::Reachable);
+}
+
+TEST(Bmc, ContradictoryAssumesAreUnreachable)
+{
+    CounterDesign cd;
+    EngineConfig cfg;
+    cfg.bound = 4;
+    Engine eng(cd.d, cfg);
+    auto contradiction = pAnd(pEq(cd.cnt, 0), pNot(pEq(cd.cnt, 0)));
+    EXPECT_EQ(eng.cover(pTrue(), {contradiction}).outcome,
+              Outcome::Unreachable);
+}
+
+TEST(Bmc, ArithmeticCoverFindsFactors)
+{
+    // "Find x, y with x * y == 35": a tiny SAT-style query through the
+    // multiplier bit-blasting.
+    Design d("mul");
+    Builder b(d);
+    Sig x = b.input("x", 8);
+    Sig y = b.input("y", 8);
+    RegSig p = b.regh("p", 8, 0);
+    b.assign(p, x * y);
+    b.finalize();
+    EngineConfig cfg;
+    cfg.bound = 2;
+    Engine eng(d, cfg);
+    auto not_one = [&](SigId s) {
+        return pAnd(pNot(pEq(s, 1)), pNot(pEq(s, 0)));
+    };
+    CoverResult r = eng.cover(pEq(p.q.id, 35),
+                              {not_one(x.id), not_one(y.id)});
+    ASSERT_EQ(r.outcome, Outcome::Reachable);
+    uint64_t xv = r.witness.inputs[0].at(x.id);
+    uint64_t yv = r.witness.inputs[0].at(y.id);
+    EXPECT_EQ((xv * yv) & 0xff, 35u);
+    EXPECT_NE(xv, 1u);
+    EXPECT_NE(yv, 1u);
+}
+
+TEST(Bmc, PropertyDepthAccounting)
+{
+    auto e = pDelay(pTrue(), 3, pDelay(pTrue(), 2, pTrue()));
+    EXPECT_EQ(e->depth(), 5u);
+    EXPECT_EQ(pTrue()->depth(), 0u);
+}
+
+class BmcVsSim : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BmcVsSim, RandomDesignEquivalence)
+{
+    // Build a random small design; drive random inputs through the
+    // simulator; then ask the engine to cover the exact final state via
+    // coverAt with the same input constraints, which must be reachable.
+    std::mt19937 rng(GetParam() * 7919);
+    Design d("rand");
+    Builder b(d);
+    Sig i0 = b.input("i0", 4);
+    Sig i1 = b.input("i1", 4);
+    RegSig r0 = b.regh("r0", 4, GetParam() & 0xf);
+    RegSig r1 = b.regh("r1", 4, 0);
+    // Random-ish datapath mixing ops.
+    Sig t0 = (r0.q + i0) ^ r1.q;
+    Sig t1 = b.mux(i1.bit(0), r0.q * i1, r0.q - i0);
+    b.assign(r0, t0);
+    b.assign(r1, t1 | i0);
+    b.finalize();
+
+    const unsigned T = 5;
+    std::vector<InputMap> ins(T);
+    Simulator sim(d);
+    for (unsigned t = 0; t < T; t++) {
+        ins[t] = {{i0.id, rng() & 0xf}, {i1.id, rng() & 0xf}};
+        sim.step(ins[t]);
+    }
+    uint64_t fr0 = sim.value(r0.q.id), fr1 = sim.value(r1.q.id);
+
+    EngineConfig cfg;
+    cfg.bound = T;
+    Engine eng(d, cfg);
+    // Constrain inputs per-cycle via a big assume: inputs follow the
+    // recorded values (encoded as (cycle marker) implications using a
+    // counter is overkill; instead check reachability of the joint final
+    // state without constraints — it must be reachable since we exhibited
+    // it — then validate the witness equivalence through the replayed
+    // trace values).
+    CoverResult r = eng.coverAt(
+        pAnd(pEq(r0.q.id, fr0), pEq(r1.q.id, fr1)), {}, T - 1);
+    ASSERT_EQ(r.outcome, Outcome::Reachable)
+        << "state (" << fr0 << "," << fr1 << ") reached in sim but not BMC";
+    EXPECT_EQ(r.witness.trace.value(T - 1, r0.q.id), fr0);
+    EXPECT_EQ(r.witness.trace.value(T - 1, r1.q.id), fr1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BmcVsSim, ::testing::Range(0, 12));
+
+TEST(Bmc, StatsAccumulate)
+{
+    CounterDesign cd;
+    EngineConfig cfg;
+    cfg.bound = 8;
+    Engine eng(cd.d, cfg);
+    eng.cover(pEq(cd.cnt, 1), {});
+    eng.cover(pEq(cd.cnt, 12), {});
+    EXPECT_EQ(eng.stats().queries, 2u);
+    EXPECT_EQ(eng.stats().reachable, 1u);
+    EXPECT_EQ(eng.stats().unreachable, 1u);
+}

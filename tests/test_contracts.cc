@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the Table I contract derivations and report rendering, using
+ * a hand-built AnalysisDb over the Tiny3 zero-skip harness (fast: no
+ * model checking involved — derivations are pure functions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "contracts/contracts.hh"
+#include "designs/tiny3.hh"
+#include "report/report.hh"
+
+using namespace rmp;
+using namespace rmp::ct;
+using namespace rmp::slc;
+using namespace rmp::uhb;
+
+namespace
+{
+
+struct ContractsFixture : public ::testing::Test
+{
+    ContractsFixture() : hx(designs::buildTiny3({.withZeroSkip = true}))
+    {
+        db.hx = &hx;
+        mul = hx.duv().instrId("MUL");
+        add = hx.duv().instrId("ADD");
+        // PLs: 0=IF 1=EX 2=mulU 3=WB.
+        // MUL's μPATH & decisions (shaped like the real synthesis output).
+        InstrPaths mp;
+        mp.instr = mul;
+        UPath p;
+        p.instr = mul;
+        p.plSet = {0, 1, 2, 3};
+        p.schedule = {{0}, {1, 2}, {1, 2}, {3}};
+        p.revisit[1] = Revisit::Consecutive;
+        p.revisit[2] = Revisit::Consecutive;
+        mp.paths.push_back(p);
+        UPath p2 = p;
+        p2.schedule = {{0}, {1, 2}, {3}};
+        mp.paths.push_back(p2);
+        mp.decisions = {{1, {1, 2}}, {1, {3}}, {0, {0}}, {0, {1, 2}}};
+        db.paths[mul] = mp;
+
+        // Signature 1: MUL_EX — intrinsic + dynamic-older rs1.
+        LeakageSignature s1;
+        s1.transponder = mul;
+        s1.src = 1;
+        s1.inputs = {{mul, Operand::Rs1, TxType::Intrinsic},
+                     {mul, Operand::Rs1, TxType::DynamicOlder}};
+        TaggedDecision td1{{1, {1, 2}}, {s1.inputs[0]}};
+        TaggedDecision td2{{1, {3}}, {s1.inputs[0], s1.inputs[1]}};
+        s1.decisions = {td1, td2};
+        db.signatures.push_back(s1);
+
+        // Signature 2: ADD_IF — dynamic-older MUL rs1 + a static input to
+        // exercise the static-channel paths.
+        LeakageSignature s2;
+        s2.transponder = add;
+        s2.src = 0;
+        s2.inputs = {{mul, Operand::Rs1, TxType::DynamicOlder},
+                     {mul, Operand::Rs2, TxType::Static}};
+        s2.decisions = {TaggedDecision{{0, {0}}, {s2.inputs[0]}},
+                        TaggedDecision{{0, {1}}, {s2.inputs[1]}}};
+        db.signatures.push_back(s2);
+    }
+
+    designs::Harness hx;
+    AnalysisDb db;
+    InstrId mul = 0, add = 0;
+};
+
+} // namespace
+
+TEST_F(ContractsFixture, CtContractCollapsesOperands)
+{
+    CtContract c = deriveConstantTime(db);
+    ASSERT_EQ(c.transmitters.size(), 1u); // only MUL transmits
+    EXPECT_EQ(c.transmitters[0].instr, mul);
+    EXPECT_TRUE(c.transmitters[0].rs1Unsafe);
+    EXPECT_TRUE(c.transmitters[0].rs2Unsafe); // via the static input
+}
+
+TEST_F(ContractsFixture, Mi6SplitsDynamicAndStatic)
+{
+    Mi6Contract c = deriveMi6(db);
+    EXPECT_EQ(c.dynamicChannels.size(), 2u); // both signatures have dyn
+    ASSERT_EQ(c.staticChannels.size(), 1u);  // only ADD_IF has static
+    EXPECT_EQ(c.staticChannels[0].transponder, add);
+}
+
+TEST_F(ContractsFixture, OisaFindsVariableLatencyUnit)
+{
+    OisaContract c = deriveOisa(db);
+    ASSERT_EQ(c.units.size(), 1u);
+    EXPECT_EQ(c.units[0].unitPl, "EX");
+    EXPECT_EQ(c.units[0].transmitter, mul);
+    EXPECT_TRUE(c.units[0].rs1Unsafe);
+    EXPECT_FALSE(c.units[0].rs2Unsafe);
+}
+
+TEST_F(ContractsFixture, SttClassifiesChannels)
+{
+    SttContract c = deriveStt(db);
+    ASSERT_EQ(c.explicitChannels.size(), 1u); // MUL_EX (intrinsic input)
+    EXPECT_EQ(c.explicitChannels[0].transponder, mul);
+    EXPECT_EQ(c.implicitChannels.size(), 2u); // both have non-intrinsic
+    // ADD and MUL both exhibit variability from others' operands.
+    EXPECT_EQ(c.implicitBranches.size(), 2u);
+    ASSERT_EQ(c.predictionBased.size(), 1u); // static input => predictor
+    EXPECT_EQ(c.predictionBased[0].transponder, add);
+    EXPECT_EQ(c.resolutionBased.size(), 2u);
+    // Tiny3 has no architectural branches.
+    EXPECT_TRUE(c.explicitBranches.empty());
+}
+
+TEST_F(ContractsFixture, SdoVariantsComeFromUPaths)
+{
+    SdoContract c = deriveSdo(db);
+    ASSERT_EQ(c.perTransmitter.size(), 1u);
+    EXPECT_EQ(c.perTransmitter[0].transmitter, mul);
+    EXPECT_EQ(c.perTransmitter[0].numVariants, 2u);
+    EXPECT_EQ(c.perTransmitter[0].latencies,
+              (std::vector<unsigned>{4, 3}));
+}
+
+TEST_F(ContractsFixture, DolmaComponents)
+{
+    DolmaContract c = deriveDolma(db);
+    EXPECT_EQ(c.variableTimeOps, std::vector<InstrId>{mul});
+    // ADD is induced by MUL; MUL also induces itself as dynamic-older
+    // for other MULs, so both appear inducive.
+    EXPECT_EQ(c.inducive.size(), 2u);
+    EXPECT_EQ(c.resolvent, std::vector<InstrId>{mul});
+    EXPECT_EQ(c.resolutionPoints.size(), 2u);
+    // MUL modulates a static channel => persistent-state modifying.
+    EXPECT_EQ(c.persistentStateModifying, std::vector<InstrId>{mul});
+}
+
+TEST_F(ContractsFixture, RenderContractsMentionsAllSix)
+{
+    std::string s = renderContracts(db);
+    EXPECT_NE(s.find("Constant-time"), std::string::npos);
+    EXPECT_NE(s.find("MI6"), std::string::npos);
+    EXPECT_NE(s.find("OISA"), std::string::npos);
+    EXPECT_NE(s.find("STT/SDO/SPT"), std::string::npos);
+    EXPECT_NE(s.find("data-oblivious variants"), std::string::npos);
+    EXPECT_NE(s.find("Dolma"), std::string::npos);
+}
+
+TEST_F(ContractsFixture, Fig8MatrixHasSignatureColumns)
+{
+    std::string s = report::renderFig8Matrix(db);
+    EXPECT_NE(s.find("MUL_EX"), std::string::npos);
+    EXPECT_NE(s.find("ADD_IF"), std::string::npos);
+    EXPECT_NE(s.find("2 signatures"), std::string::npos);
+}
+
+TEST_F(ContractsFixture, TableIIRendersCounts)
+{
+    std::string s = report::renderTableII(hx);
+    EXPECT_NE(s.find("IFR"), std::string::npos);
+    EXPECT_NE(s.find("candidate PLs"), std::string::npos);
+    EXPECT_NE(s.find("4 words"), std::string::npos); // tiny3 ARF
+}
+
+TEST_F(ContractsFixture, StepStatsRendersTotals)
+{
+    std::vector<r2m::StepStats> steps(2);
+    steps[0].step = "1:duv-pl-reach";
+    steps[0].queries = 10;
+    steps[0].reachable = 8;
+    steps[0].unreachable = 1;
+    steps[0].undetermined = 1;
+    steps[0].seconds = 1.0;
+    slc::SynthLcStats ls;
+    ls.queries = 5;
+    ls.reachable = 2;
+    ls.unreachable = 3;
+    std::string s = report::renderStepStats(steps, &ls);
+    EXPECT_NE(s.find("10.0"), std::string::npos); // undet percentage
+    EXPECT_NE(s.find("SynthLC"), std::string::npos);
+}

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for CellIFT-style instrumentation: per-op propagation precision,
+ * taint introduction, architectural blocking, and the Assumption-3
+ * sticky-taint flush with persistent state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ift/instrument.hh"
+#include "rtlir/builder.hh"
+#include "sim/simulator.hh"
+
+using namespace rmp;
+using namespace rmp::ift;
+
+namespace
+{
+
+/** A design with one taint-source register feeding various cells. */
+struct PropFixture : public ::testing::Test
+{
+    Design d{"prop"};
+    SigId src, other, out_and, out_or, out_xor, out_eq, out_redor,
+        out_add, out_mul, out_mux, out_sel_mux;
+    SigId in_src, in_other, in_sel;
+    Instrumented inst;
+
+    PropFixture()
+    {
+        Builder b(d);
+        Sig iv = b.input("iv", 8);
+        Sig ov = b.input("ov", 8);
+        Sig sel = b.input("sel", 1);
+        in_src = iv.id;
+        in_other = ov.id;
+        in_sel = sel.id;
+        RegSig s = b.regh("srcreg", 8, 0);
+        RegSig o = b.regh("otherreg", 8, 0);
+        b.assign(s, iv);
+        b.assign(o, ov);
+        src = s.q.id;
+        other = o.q.id;
+        out_and = (s.q & o.q).id;
+        out_or = (s.q | o.q).id;
+        out_xor = (s.q ^ o.q).id;
+        out_eq = (s.q == o.q).id;
+        out_redor = s.q.orR().id;
+        out_add = (s.q + o.q).id;
+        out_mul = (s.q * o.q).id;
+        out_mux = b.mux(sel, s.q, o.q).id;
+        out_sel_mux = b.mux(s.q.bit(0), o.q, o.q + b.lit(8, 1)).id;
+        b.finalize();
+
+        IftConfig cfg;
+        cfg.taintSources = {src};
+        inst = instrument(d, cfg);
+    }
+
+    /**
+     * Step the instrumented design: cycle 0 loads values into the
+     * registers; cycle 1 marks srcreg's content tainted (combinational
+     * read-path introduction) and observes propagation in-cycle.
+     */
+    Simulator
+    runCycle(uint64_t sv, uint64_t ov, uint64_t taint_mask,
+             uint64_t sel = 0)
+    {
+        Simulator sim(*inst.design);
+        SigId tin = inst.taintIn.at(src);
+        sim.step({{in_src, sv}, {in_other, ov}});
+        sim.step({{in_sel, sel}, {tin, taint_mask}});
+        return sim;
+    }
+
+    uint64_t taintOf(Simulator &sim, SigId sig)
+    {
+        return sim.value(inst.shadow[sig]);
+    }
+};
+
+} // namespace
+
+TEST_F(PropFixture, XorPropagatesUnion)
+{
+    auto sim = runCycle(0x0f, 0x33, 0b1010);
+    EXPECT_EQ(taintOf(sim, out_xor), 0b1010u);
+}
+
+TEST_F(PropFixture, AndMasksByOtherOperandValue)
+{
+    // Tainted bit only matters where the untainted operand is 1.
+    auto sim = runCycle(0xff, 0b1100, 0b1111);
+    EXPECT_EQ(taintOf(sim, out_and), 0b1100u);
+}
+
+TEST_F(PropFixture, OrMasksByOtherOperandZero)
+{
+    // A 1 in the untainted operand forces the output bit to 1.
+    auto sim = runCycle(0x00, 0b1100, 0b1111);
+    EXPECT_EQ(taintOf(sim, out_or), 0b0011u);
+}
+
+TEST_F(PropFixture, EqUntaintedWhenUntaintedBitsDiffer)
+{
+    // Bits 4..7 untainted and differ (0x0 vs 0x3 in high nibble): output
+    // is definitely 0 regardless of tainted bits.
+    auto sim = runCycle(0x0f, 0x3f, 0b1111);
+    EXPECT_EQ(taintOf(sim, out_eq), 0u);
+    // With equal untainted parts, equality depends on tainted bits.
+    auto sim2 = runCycle(0x0f, 0x0f, 0b1111);
+    EXPECT_EQ(taintOf(sim2, out_eq), 1u);
+}
+
+TEST_F(PropFixture, RedOrUntaintedWhenUntaintedOneExists)
+{
+    // Untainted bit 7 is 1: reduction is 1 regardless of taint.
+    auto sim = runCycle(0x81, 0x00, 0b0001);
+    EXPECT_EQ(taintOf(sim, out_redor), 0u);
+    // All-zero untainted part: reduction depends on tainted bit.
+    auto sim2 = runCycle(0x01, 0x00, 0b0001);
+    EXPECT_EQ(taintOf(sim2, out_redor), 1u);
+}
+
+TEST_F(PropFixture, AddTaintFlowsUpwardOnly)
+{
+    auto sim = runCycle(0x00, 0x00, 0b0100);
+    // Prefix-or: bits >= 2 tainted, bits 0..1 clean.
+    EXPECT_EQ(taintOf(sim, out_add), 0xfcu);
+}
+
+TEST_F(PropFixture, MulSmearsAllBits)
+{
+    auto sim = runCycle(0x02, 0x03, 0b0001);
+    EXPECT_EQ(taintOf(sim, out_mul), 0xffu);
+}
+
+TEST_F(PropFixture, MuxSelectsTaintOfChosenArm)
+{
+    auto sim = runCycle(0x55, 0xaa, 0xff, /*sel=*/1);
+    EXPECT_EQ(taintOf(sim, out_mux), 0xffu); // picks tainted srcreg
+    auto sim2 = runCycle(0x55, 0xaa, 0xff, /*sel=*/0);
+    EXPECT_EQ(taintOf(sim2, out_mux), 0x00u); // picks clean otherreg
+}
+
+TEST_F(PropFixture, TaintedSelectTaintsDifferingArmBits)
+{
+    // Arms are ov and ov+1: differ at least in bit 0; select bit comes
+    // from tainted srcreg.
+    auto sim = runCycle(0x01, 0x10, 0x01);
+    EXPECT_NE(taintOf(sim, out_sel_mux), 0u);
+}
+
+TEST_F(PropFixture, NoTaintWithoutIntroduction)
+{
+    auto sim = runCycle(0xff, 0xff, 0);
+    EXPECT_EQ(taintOf(sim, out_xor), 0u);
+    EXPECT_EQ(taintOf(sim, out_add), 0u);
+    EXPECT_EQ(taintOf(sim, out_mul), 0u);
+}
+
+TEST(IftBlocking, ArchitecturalBoundaryStopsTaint)
+{
+    Design d("blk");
+    SigId src, arf, downstream, in_v;
+    {
+        Builder b(d);
+        Sig iv = b.input("iv", 8);
+        in_v = iv.id;
+        RegSig s = b.regh("op_reg", 8, 0);
+        b.assign(s, iv);
+        RegSig a = b.regh("arf0", 8, 0);
+        b.assign(a, s.q); // result written to ARF
+        RegSig dn = b.regh("consumer", 8, 0);
+        b.assign(dn, a.q); // next instruction reads ARF
+        b.finalize();
+        src = s.q.id;
+        arf = a.q.id;
+        downstream = dn.q.id;
+    }
+    IftConfig cfg;
+    cfg.taintSources = {src};
+    cfg.blockRegs = {arf};
+    Instrumented inst = instrument(d, cfg);
+    Simulator sim(*inst.design);
+    SigId tin = inst.taintIn.at(src);
+    // Keep the source marked tainted throughout.
+    for (int i = 0; i < 5; i++)
+        sim.step({{in_v, 0x42}, {tin, 0xff}});
+    // The value flows through, but the taint is blocked at the ARF.
+    EXPECT_EQ(sim.value(downstream), 0x42u);
+    EXPECT_EQ(sim.value(inst.shadow[arf]), 0u);
+    EXPECT_EQ(sim.value(inst.shadow[downstream]), 0u);
+}
+
+TEST(IftFlush, StickyFlushClearsTransientKeepsPersistent)
+{
+    Design d("flush");
+    SigId src, pipe, cache, reader, gone_in, in_v, wr_in;
+    {
+        Builder b(d);
+        Sig iv = b.input("iv", 8);
+        Sig gone = b.input("txm_gone", 1);
+        Sig wr = b.input("cache_wr", 1);
+        in_v = iv.id;
+        gone_in = gone.id;
+        wr_in = wr.id;
+        RegSig s = b.regh("op_reg", 8, 0);
+        b.assign(s, iv);
+        RegSig p = b.regh("pipe_reg", 8, 0);
+        b.assign(p, s.q);
+        // A cache-like persistent cell: holds unless written.
+        RegSig c = b.regh("cache_line", 8, 0);
+        b.when(wr);
+        b.assign(c, p.q);
+        b.end();
+        // Later reads pull the (possibly tainted) cache contents back
+        // into the pipeline: the static leakage path.
+        RegSig rd = b.regh("reader", 8, 0);
+        b.assign(rd, c.q);
+        b.finalize();
+        src = s.q.id;
+        pipe = p.q.id;
+        cache = c.q.id;
+        reader = rd.q.id;
+    }
+    IftConfig cfg;
+    cfg.taintSources = {src};
+    cfg.persistentRegs = {cache};
+    cfg.txmGone = gone_in;
+    Instrumented inst = instrument(d, cfg);
+    SigId tin = inst.taintIn.at(src);
+
+    // Sticky mode ON: taint flows src -> pipe -> cache, then the
+    // transmitter leaves (gone rises) and transient taint is flushed.
+    Simulator sim(*inst.design);
+    auto step = [&](uint64_t taint, uint64_t gone, uint64_t wr) {
+        sim.step({{in_v, 1},
+                  {tin, taint},
+                  {gone_in, gone},
+                  {wr_in, wr},
+                  {inst.stickyMode, 1}});
+    };
+    step(0xff, 0, 0); // src reads as tainted; pipe latches the taint
+    step(0, 0, 1);    // pipe shadow visible; cache writes
+    step(0, 1, 0);    // cache tainted; transmitter leaves -> flush pulse
+    EXPECT_NE(sim.value(inst.shadow[cache]), 0u);
+    step(0, 1, 0);
+    // Transient regs were cleared at the pulse; persistent cache keeps
+    // its taint and re-taints the reader register (static channel).
+    EXPECT_NE(sim.value(inst.shadow[cache]), 0u);
+    step(0, 1, 0);
+    EXPECT_NE(sim.value(inst.shadow[reader]), 0u);
+}
+
+TEST(IftFlush, NoFlushWhenStickyModeOff)
+{
+    Design d("noflush");
+    SigId src, pipe, gone_in, in_v;
+    {
+        Builder b(d);
+        Sig iv = b.input("iv", 8);
+        Sig gone = b.input("txm_gone", 1);
+        in_v = iv.id;
+        gone_in = gone.id;
+        RegSig s = b.regh("op_reg", 8, 0);
+        b.assign(s, iv | s.q);
+        RegSig p = b.regh("pipe_reg", 8, 0);
+        b.assign(p, s.q);
+        b.finalize();
+        src = s.q.id;
+        pipe = p.q.id;
+    }
+    IftConfig cfg;
+    cfg.taintSources = {src};
+    cfg.txmGone = gone_in;
+    Instrumented inst = instrument(d, cfg);
+    SigId tin = inst.taintIn.at(src);
+    Simulator sim(*inst.design);
+    sim.step({{in_v, 1}, {tin, 0xff}, {inst.stickyMode, 0}});
+    // Taint reached pipe; gone rises but sticky mode is off: no flush.
+    sim.step({{gone_in, 1}, {inst.stickyMode, 0}});
+    EXPECT_NE(sim.value(inst.shadow[pipe]), 0u);
+    sim.step({{gone_in, 1}, {inst.stickyMode, 0}});
+}
+
+TEST(IftApi, AnyTaintWireReducesShadows)
+{
+    Design d("any");
+    SigId src, in_v;
+    {
+        Builder b(d);
+        Sig iv = b.input("iv", 4);
+        in_v = iv.id;
+        RegSig s = b.regh("r", 4, 0);
+        b.assign(s, iv);
+        b.finalize();
+        src = s.q.id;
+    }
+    IftConfig cfg;
+    cfg.taintSources = {src};
+    Instrumented inst = instrument(d, cfg);
+    SigId any = inst.anyTaintWire({src});
+    Simulator sim(*inst.design);
+    sim.step({{in_v, 5}});
+    sim.step({{inst.taintIn.at(src), 0b0010}});
+    EXPECT_EQ(sim.value(any), 1u);
+}
+
+TEST(IftApi, OriginalSigIdsPreserved)
+{
+    Design d("ids");
+    Builder b(d);
+    Sig iv = b.input("iv", 4);
+    RegSig s = b.regh("r", 4, 0);
+    b.assign(s, iv + b.lit(4, 1));
+    b.finalize();
+    Instrumented inst = instrument(d, {});
+    for (SigId i = 0; i < d.numCells(); i++) {
+        EXPECT_EQ(inst.design->cell(i).op, d.cell(i).op);
+        EXPECT_EQ(inst.design->cell(i).width, d.cell(i).width);
+    }
+}

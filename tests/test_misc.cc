@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the auxiliary tooling: VCD export, Graphviz μHB rendering,
+ * the RV-lite ISA table invariants, program-driver delays, and property
+ * AST rendering/evaluation corners.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "designs/driver.hh"
+#include "designs/mcva_isa.hh"
+#include "designs/tiny3.hh"
+#include "prop/property.hh"
+#include "sim/vcd.hh"
+#include "uhb/graph.hh"
+
+using namespace rmp;
+using namespace rmp::designs;
+
+TEST(Vcd, ContainsDeclarationsAndChanges)
+{
+    Design d("vcd");
+    SigId in_id, reg_id;
+    {
+        Builder b(d);
+        Sig in = b.input("data_in", 4);
+        RegSig r = b.regh("acc", 8, 0);
+        b.assign(r, r.q + in.zext(8));
+        b.finalize();
+        in_id = in.id;
+        reg_id = r.q.id;
+    }
+    Simulator sim(d);
+    sim.step({{in_id, 3}});
+    sim.step({{in_id, 5}});
+    sim.step({{in_id, 0}});
+    std::string vcd = traceToVcd(d, sim.trace());
+    EXPECT_NE(vcd.find("$var wire 4"), std::string::npos);
+    EXPECT_NE(vcd.find("data_in"), std::string::npos);
+    EXPECT_NE(vcd.find("acc"), std::string::npos);
+    EXPECT_NE(vcd.find("#0"), std::string::npos);
+    EXPECT_NE(vcd.find("#2"), std::string::npos);
+    // acc is 3 during cycle 1: binary 00000011 appears.
+    EXPECT_NE(vcd.find("b00000011"), std::string::npos);
+    (void)reg_id;
+}
+
+TEST(Vcd, NarrowedSignalSelection)
+{
+    Design d("vcd2");
+    SigId in_id;
+    {
+        Builder b(d);
+        Sig in = b.input("only_me", 1);
+        RegSig r = b.regh("hidden", 1, 0);
+        b.assign(r, in);
+        b.finalize();
+        in_id = in.id;
+    }
+    Simulator sim(d);
+    sim.step({{in_id, 1}});
+    std::string vcd = traceToVcd(d, sim.trace(), {in_id});
+    EXPECT_NE(vcd.find("only_me"), std::string::npos);
+    EXPECT_EQ(vcd.find("hidden"), std::string::npos);
+}
+
+TEST(Dot, RendersNodesEdgesAndDecisionColors)
+{
+    uhb::UPath p;
+    p.schedule = {{0}, {1}, {2}};
+    p.edges = {{0, 0, 1, 1}, {1, 1, 2, 2}};
+    uhb::Decision d;
+    d.src = 1;
+    d.dst = {2};
+    std::string dot =
+        uhb::renderUPathDot(p, {"IF", "EX", "WB"}, {d});
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("n0_0 -> n1_1"), std::string::npos);
+    EXPECT_NE(dot.find("fillcolor=orange"), std::string::npos);   // src
+    EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos); // dst
+}
+
+TEST(McvaIsa, Exactly72InstructionsWithUniqueOpcodes)
+{
+    auto table = mcvaInstrTable();
+    EXPECT_EQ(table.size(), 72u); // the RV64IM count from §VI
+    std::set<uint64_t> opcodes;
+    std::set<std::string> names;
+    for (const auto &i : table) {
+        EXPECT_TRUE(opcodes.insert(i.opcode).second)
+            << "duplicate opcode for " << i.name;
+        EXPECT_TRUE(names.insert(i.name).second)
+            << "duplicate name " << i.name;
+        EXPECT_LT(i.opcode, 128u); // 7-bit opcode field
+    }
+}
+
+TEST(McvaIsa, ClassCountsMatchThePaper)
+{
+    auto table = mcvaInstrTable();
+    std::map<uhb::InstrClass, int> by_class;
+    for (const auto &i : table)
+        by_class[i.cls]++;
+    // §VII-A1: 8 DIV/REM variants, 7 load variants, 4 store variants,
+    // 6 branches, 2 jumps, 5 multiplies.
+    EXPECT_EQ(by_class[uhb::InstrClass::DivRem], 8);
+    EXPECT_EQ(by_class[uhb::InstrClass::Load], 7);
+    EXPECT_EQ(by_class[uhb::InstrClass::Store], 4);
+    EXPECT_EQ(by_class[uhb::InstrClass::Branch], 6);
+    EXPECT_EQ(by_class[uhb::InstrClass::Jump], 2);
+    EXPECT_EQ(by_class[uhb::InstrClass::Mul], 5);
+}
+
+TEST(McvaIsa, SubsetsAreValidNames)
+{
+    auto table = mcvaInstrTable();
+    std::set<std::string> names;
+    for (const auto &i : table)
+        names.insert(i.name);
+    for (const auto &n : mcvaArtifactSubset())
+        EXPECT_TRUE(names.count(n)) << n;
+    for (const auto &n : mcvaClassRepresentatives())
+        EXPECT_TRUE(names.count(n)) << n;
+}
+
+TEST(Driver, DelayBeforeInsertsBubbles)
+{
+    Harness hx(buildTiny3());
+    ProgramDriver drv(hx);
+    const auto &info = hx.duv();
+    auto t = drv.run({{info.encode("ADD", 1, 0, 0)},
+                      {info.encode("ADD", 2, 0, 0), true, false, 5}},
+                     20);
+    // The marked instruction's first visit happens >= 5 cycles after the
+    // first instruction's.
+    SigId at_if = hx.plSig(0).iuvAt;
+    int first_visit = -1;
+    for (size_t c = 0; c < t.numCycles(); c++)
+        if (t.value(c, at_if)) {
+            first_visit = static_cast<int>(c);
+            break;
+        }
+    ASSERT_GE(first_visit, 6);
+}
+
+TEST(Prop, StrRendersReadably)
+{
+    Design d("p");
+    Builder b(d);
+    Sig a = b.input("a", 4);
+    Sig v = b.input("v", 1);
+    b.finalize();
+    auto e = prop::pDelay(prop::pAnd(prop::pBit(v.id),
+                                     prop::pNot(prop::pEq(a.id, 3))),
+                          1, prop::pBit(v.id));
+    std::string s = e->str(d);
+    EXPECT_NE(s.find("##1"), std::string::npos);
+    EXPECT_NE(s.find("a==3"), std::string::npos);
+    EXPECT_NE(s.find("v"), std::string::npos);
+}
+
+TEST(Prop, EvalBeyondTraceIsFalse)
+{
+    Design d("p2");
+    SigId vid;
+    {
+        Builder b(d);
+        Sig v = b.input("v", 1);
+        RegSig r = b.regh("r", 1, 0);
+        b.assign(r, v);
+        b.finalize();
+        vid = v.id;
+    }
+    Simulator sim(d);
+    sim.step({{vid, 1}});
+    auto e = prop::pDelay(prop::pBit(vid), 3, prop::pBit(vid));
+    EXPECT_FALSE(prop::evalOnTrace(e, sim.trace(), 0)); // runs off the end
+}

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the netlist IR and builder, cross-checked through the
+ * simulator: operator semantics, when/elseWhen/otherwise lowering,
+ * memories, fan-in queries, validation, and design statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtlir/builder.hh"
+#include "sim/simulator.hh"
+
+using namespace rmp;
+
+namespace
+{
+
+/** Build a pure-combinational design computing f(a, b) and evaluate it. */
+uint64_t
+evalBinary(unsigned width, uint64_t av, uint64_t bv,
+           Sig (*f)(Builder &, Sig, Sig))
+{
+    Design d("comb");
+    Builder b(d);
+    Sig a = b.input("a", width);
+    Sig bb = b.input("b", width);
+    Sig out = f(b, a, bb);
+    b.named("out", out);
+    b.finalize();
+    Simulator sim(d);
+    sim.step({{a.id, av}, {bb.id, bv}});
+    return sim.value(out.id);
+}
+
+} // namespace
+
+TEST(Rtlir, AddSubMulWrapAround)
+{
+    EXPECT_EQ(evalBinary(8, 200, 100,
+                         [](Builder &, Sig a, Sig b) { return a + b; }),
+              (200 + 100) & 0xff);
+    EXPECT_EQ(evalBinary(8, 5, 9,
+                         [](Builder &, Sig a, Sig b) { return a - b; }),
+              (5 - 9) & 0xff);
+    EXPECT_EQ(evalBinary(8, 20, 30,
+                         [](Builder &, Sig a, Sig b) { return a * b; }),
+              (20 * 30) & 0xff);
+}
+
+TEST(Rtlir, CompareOps)
+{
+    EXPECT_EQ(evalBinary(8, 3, 3,
+                         [](Builder &, Sig a, Sig b) { return a == b; }),
+              1u);
+    EXPECT_EQ(evalBinary(8, 3, 4,
+                         [](Builder &, Sig a, Sig b) { return a != b; }),
+              1u);
+    EXPECT_EQ(evalBinary(8, 3, 4,
+                         [](Builder &, Sig a, Sig b) { return a < b; }),
+              1u);
+    EXPECT_EQ(evalBinary(8, 4, 3,
+                         [](Builder &, Sig a, Sig b) { return a >= b; }),
+              1u);
+}
+
+TEST(Rtlir, BitwiseAndReductions)
+{
+    Design d("bits");
+    Builder b(d);
+    Sig a = b.input("a", 4);
+    Sig n = b.named("n", ~a);
+    Sig ro = b.named("ro", a.orR());
+    Sig ra = b.named("ra", a.andR());
+    Sig sl = b.named("sl", a.slice(1, 2));
+    b.finalize();
+    Simulator sim(d);
+    sim.step({{a.id, 0b0110}});
+    EXPECT_EQ(sim.value(n.id), 0b1001u);
+    EXPECT_EQ(sim.value(ro.id), 1u);
+    EXPECT_EQ(sim.value(ra.id), 0u);
+    EXPECT_EQ(sim.value(sl.id), 0b11u);
+    sim.step({{a.id, 0b1111}});
+    EXPECT_EQ(sim.value(ra.id), 1u);
+    sim.step({{a.id, 0}});
+    EXPECT_EQ(sim.value(ro.id), 0u);
+}
+
+TEST(Rtlir, ConcatAndZext)
+{
+    Design d("cc");
+    Builder b(d);
+    Sig a = b.input("a", 4);
+    Sig c = b.input("c", 4);
+    Sig cat = b.named("cat", b.cat(a, c)); // a is high part
+    Sig z = b.named("z", a.zext(8));
+    b.finalize();
+    Simulator sim(d);
+    sim.step({{a.id, 0xA}, {c.id, 0x5}});
+    EXPECT_EQ(sim.value(cat.id), 0xA5u);
+    EXPECT_EQ(sim.value(z.id), 0x0Au);
+}
+
+TEST(Rtlir, VariableShifts)
+{
+    Design d("sh");
+    Builder b(d);
+    Sig a = b.input("a", 8);
+    Sig amt = b.input("amt", 3);
+    Sig l = b.named("l", b.shl(a, amt));
+    Sig r = b.named("r", b.shr(a, amt));
+    b.finalize();
+    Simulator sim(d);
+    for (unsigned s = 0; s < 8; s++) {
+        sim.step({{a.id, 0xC3}, {amt.id, s}});
+        EXPECT_EQ(sim.value(l.id), (0xC3u << s) & 0xff) << "shl by " << s;
+        EXPECT_EQ(sim.value(r.id), 0xC3u >> s) << "shr by " << s;
+    }
+}
+
+TEST(Rtlir, RegisterCounterAndReset)
+{
+    Design d("cnt");
+    Builder b(d);
+    RegSig cnt = b.regh("cnt", 8, 3); // resets to 3
+    b.assign(cnt, cnt.q + b.lit(8, 1));
+    b.finalize();
+    Simulator sim(d);
+    sim.step();
+    EXPECT_EQ(sim.value(cnt.q.id), 3u);
+    sim.step();
+    EXPECT_EQ(sim.value(cnt.q.id), 4u);
+    sim.reset();
+    sim.step();
+    EXPECT_EQ(sim.value(cnt.q.id), 3u);
+}
+
+TEST(Rtlir, WhenElseWhenOtherwisePriority)
+{
+    Design d("whens");
+    Builder b(d);
+    Sig sel = b.input("sel", 2);
+    RegSig r = b.regh("r", 8, 0);
+    b.when(sel == b.lit(2, 0));
+    b.assign(r, b.lit(8, 10));
+    b.elseWhen(sel == b.lit(2, 1));
+    b.assign(r, b.lit(8, 20));
+    b.otherwise();
+    b.assign(r, b.lit(8, 30));
+    b.end();
+    b.finalize();
+    Simulator sim(d);
+    sim.step({{sel.id, 0}});
+    sim.step({{sel.id, 1}});
+    EXPECT_EQ(sim.value(r.q.id), 10u); // latched from cycle 0
+    sim.step({{sel.id, 2}});
+    EXPECT_EQ(sim.value(r.q.id), 20u);
+    sim.step({{sel.id, 3}});
+    EXPECT_EQ(sim.value(r.q.id), 30u);
+    sim.step();
+    EXPECT_EQ(sim.value(r.q.id), 30u);
+}
+
+TEST(Rtlir, LastAssignmentWins)
+{
+    Design d("last");
+    Builder b(d);
+    Sig c = b.input("c", 1);
+    RegSig r = b.regh("r", 4, 0);
+    b.assign(r, b.lit(4, 1));
+    b.when(c);
+    b.assign(r, b.lit(4, 2));
+    b.end();
+    b.finalize();
+    Simulator sim(d);
+    sim.step({{c.id, 1}});
+    sim.step({{c.id, 0}});
+    EXPECT_EQ(sim.value(r.q.id), 2u);
+    sim.step();
+    EXPECT_EQ(sim.value(r.q.id), 1u);
+}
+
+TEST(Rtlir, UnassignedRegisterHoldsValue)
+{
+    Design d("hold");
+    Builder b(d);
+    Sig en = b.input("en", 1);
+    RegSig r = b.regh("r", 8, 7);
+    b.when(en);
+    b.assign(r, b.lit(8, 42));
+    b.end();
+    b.finalize();
+    Simulator sim(d);
+    sim.step({{en.id, 0}});
+    sim.step({{en.id, 0}});
+    EXPECT_EQ(sim.value(r.q.id), 7u);
+    sim.step({{en.id, 1}});
+    EXPECT_EQ(sim.value(r.q.id), 7u);
+    sim.step({{en.id, 0}});
+    EXPECT_EQ(sim.value(r.q.id), 42u);
+    sim.step();
+    EXPECT_EQ(sim.value(r.q.id), 42u);
+}
+
+TEST(Rtlir, MemoryReadWrite)
+{
+    Design d("mem");
+    Builder b(d);
+    Sig we = b.input("we", 1);
+    Sig waddr = b.input("waddr", 2);
+    Sig wdata = b.input("wdata", 8);
+    Sig raddr = b.input("raddr", 2);
+    MemArray m = b.mem("m", 4, 8);
+    Sig rdata = b.named("rdata", b.memRead(m, raddr));
+    b.memWrite(m, we, waddr, wdata);
+    b.finalize();
+    Simulator sim(d);
+    // Write 0x55 to word 2.
+    sim.step({{we.id, 1}, {waddr.id, 2}, {wdata.id, 0x55}});
+    // Read back.
+    sim.step({{we.id, 0}, {raddr.id, 2}});
+    EXPECT_EQ(sim.value(rdata.id), 0x55u);
+    sim.step({{we.id, 0}, {raddr.id, 1}});
+    EXPECT_EQ(sim.value(rdata.id), 0u);
+}
+
+TEST(Rtlir, CombFanInSources)
+{
+    Design d("fan");
+    Builder b(d);
+    Sig a = b.input("a", 4);
+    Sig r1 = b.reg("r1", 4);
+    Sig r2 = b.reg("r2", 4);
+    Sig s = (a + r1) == r2;
+    b.named("s", s);
+    // Connect registers trivially.
+    b.finalize();
+    auto srcs = d.combFanInSources(s.id);
+    EXPECT_EQ(srcs.size(), 3u);
+    // Each source is one of {a, r1, r2}.
+    for (SigId id : srcs) {
+        EXPECT_TRUE(id == a.id || id == r1.id || id == r2.id);
+    }
+    // Cone stops at registers: r1's next input (itself) not traversed.
+    auto srcs_a = d.combFanInSources(a.id);
+    ASSERT_EQ(srcs_a.size(), 1u);
+    EXPECT_EQ(srcs_a[0], a.id);
+}
+
+TEST(Rtlir, StatsCountCells)
+{
+    Design d("stats");
+    Builder b(d);
+    Sig a = b.input("a", 8);
+    RegSig r = b.regh("r", 8, 0);
+    b.assign(r, a + r.q);
+    b.finalize();
+    DesignStats st = d.stats();
+    EXPECT_EQ(st.inputs, 1u);
+    EXPECT_EQ(st.registers, 1u);
+    EXPECT_EQ(st.flopBits, 8u);
+    EXPECT_GE(st.combCells, 1u);
+}
+
+TEST(RtlirDeath, CombinationalCycleIsFatal)
+{
+    // A mux loop with no register: must be rejected at validate().
+    EXPECT_EXIT(
+        {
+            Design d("loop");
+            d.name();
+            SigId a = d.addInput("a", 1);
+            // x = a & x is a combinational cycle; emulate by connecting
+            // a cell to itself through a second cell.
+            SigId x = d.addBinary(Op::And, a, a);
+            // Rewire: create y = x & a, then make x depend on y via
+            // const-cast style is not possible through the API, so build
+            // the cycle through a register-free pair directly.
+            SigId y = d.addBinary(Op::And, x, a);
+            const_cast<Cell &>(d.cell(x)).args[1] = y;
+            d.validate();
+        },
+        ::testing::ExitedWithCode(1), "combinational cycle");
+}
+
+TEST(RtlirDeath, WidthMismatchPanics)
+{
+    EXPECT_DEATH(
+        {
+            Design d("w");
+            SigId a = d.addInput("a", 4);
+            SigId b = d.addInput("b", 5);
+            d.addBinary(Op::Add, a, b);
+        },
+        "width mismatch");
+}

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * rmp — the command-line front end to the RTL2MμPATH/SynthLC library.
+ *
+ * Usage:
+ *   rmp list
+ *   rmp upaths   <duv> <instr> [options]
+ *   rmp leakage  <duv> <instr> [--tx A,B,...] [options]
+ *   rmp contracts <duv> [--instrs A,B,...] [options]
+ *   rmp bugs     <duv>           (DUV PL reachability summary)
+ *
+ * DUVs: tiny3, tiny3-zs, mcva, mcva-mul, mcva-op, mcva-fixed,
+ *       mcva-scbbug, dcache.
+ *
+ * Options:
+ *   --budget N      per-query SAT conflict budget (default 20000)
+ *   --closure       run the full BMC closure queries (slow, formal)
+ *   --counts        enumerate revisit cycle counts (§V-B6 mode (i))
+ *   --dot DIR       write one Graphviz file per synthesized μPATH
+ *   --vcd FILE      write the first μPATH witness as a VCD waveform
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "contracts/contracts.hh"
+#include "designs/dcache.hh"
+#include "designs/mcva.hh"
+#include "designs/tiny3.hh"
+#include "report/report.hh"
+#include "rtl2mupath/synth.hh"
+#include "sim/vcd.hh"
+#include "synthlc/synthlc.hh"
+
+using namespace rmp;
+using namespace rmp::designs;
+
+namespace
+{
+
+DuvUnderConstruction
+buildByName(const std::string &name)
+{
+    if (name == "tiny3")
+        return buildTiny3();
+    if (name == "tiny3-zs")
+        return buildTiny3({.withZeroSkip = true});
+    if (name == "mcva")
+        return buildMcva();
+    if (name == "mcva-mul")
+        return buildMcva({.withZeroSkipMul = true});
+    if (name == "mcva-op")
+        return buildMcva({.withOperandPacking = true});
+    if (name == "mcva-fixed")
+        return buildMcva({.fixAlignmentBugs = true});
+    if (name == "mcva-scbbug")
+        return buildMcva({.withScbCounterBug = true});
+    if (name == "dcache")
+        return buildDcache();
+    std::fprintf(stderr, "unknown DUV '%s' (try: rmp list)\n",
+                 name.c_str());
+    std::exit(1);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+struct CliOptions
+{
+    uint64_t budget = 20'000;
+    bool closure = false;
+    bool counts = false;
+    std::string dotDir;
+    std::string vcdFile;
+    std::vector<std::string> tx;
+    std::vector<std::string> instrs;
+};
+
+CliOptions
+parseOptions(int argc, char **argv, int first)
+{
+    CliOptions o;
+    for (int i = first; i < argc; i++) {
+        std::string a = argv[i];
+        auto need = [&](const char *flag) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires an argument\n", flag);
+                std::exit(1);
+            }
+            return std::string(argv[++i]);
+        };
+        if (a == "--budget")
+            o.budget = std::stoull(need("--budget"));
+        else if (a == "--closure")
+            o.closure = true;
+        else if (a == "--counts")
+            o.counts = true;
+        else if (a == "--dot")
+            o.dotDir = need("--dot");
+        else if (a == "--vcd")
+            o.vcdFile = need("--vcd");
+        else if (a == "--tx")
+            o.tx = splitCsv(need("--tx"));
+        else if (a == "--instrs")
+            o.instrs = splitCsv(need("--instrs"));
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            std::exit(1);
+        }
+    }
+    return o;
+}
+
+r2m::SynthesisConfig
+synthConfig(const CliOptions &o)
+{
+    r2m::SynthesisConfig c;
+    c.budget.maxConflicts = o.budget;
+    c.closureChecks = o.closure;
+    c.revisitCounts = o.counts;
+    return c;
+}
+
+int
+cmdUpaths(const std::string &duv, const std::string &instr,
+          const CliOptions &o)
+{
+    Harness hx(buildByName(duv));
+    r2m::MuPathSynthesizer synth(hx, synthConfig(o));
+    uhb::InstrPaths r = synth.synthesize(hx.duv().instrId(instr));
+    std::printf("%s\n", report::renderInstrPaths(hx, r).c_str());
+    std::printf("%s", report::renderDecisions(hx, r).c_str());
+    if (!o.dotDir.empty()) {
+        for (size_t i = 0; i < r.paths.size(); i++) {
+            std::string path = o.dotDir + "/" + instr + "_upath" +
+                               std::to_string(i) + ".dot";
+            std::ofstream f(path);
+            f << uhb::renderUPathDot(r.paths[i], hx.plNames(),
+                                     r.decisions);
+            std::printf("wrote %s\n", path.c_str());
+        }
+    }
+    if (!o.vcdFile.empty() && !r.paths.empty()) {
+        // Re-derive the first path's witness trace via its schedule run.
+        // The synthesizer stores only the schedule; export the whole
+        // exploration trace instead.
+        r2m::SimFacts f = r2m::exploreSim(hx, hx.duv().instrId(instr),
+                                          r2m::SimExploreConfig{});
+        if (!f.sets.empty()) {
+            writeVcd(hx.design(), f.sets.begin()->second.witness.trace,
+                     o.vcdFile);
+            std::printf("wrote %s\n", o.vcdFile.c_str());
+        }
+    }
+    std::printf("\n%s",
+                report::renderStepStats(synth.stepStats()).c_str());
+    return 0;
+}
+
+int
+cmdLeakage(const std::string &duv, const std::string &instr,
+           const CliOptions &o)
+{
+    Harness hx(buildByName(duv));
+    r2m::MuPathSynthesizer synth(hx, synthConfig(o));
+    slc::SynthLcConfig lc;
+    lc.budget.maxConflicts = o.budget;
+    slc::SynthLc slc(hx, lc);
+    uhb::InstrId p = hx.duv().instrId(instr);
+    uhb::InstrPaths r = synth.synthesize(p);
+    std::vector<uhb::InstrId> tx;
+    if (o.tx.empty())
+        tx.push_back(p);
+    else
+        for (const auto &t : o.tx)
+            tx.push_back(hx.duv().instrId(t));
+    auto sigs = slc.analyze(p, r.decisions, tx);
+    if (sigs.empty())
+        std::printf("no leakage signatures for %s\n", instr.c_str());
+    for (const auto &s : sigs)
+        std::printf("%s\n", slc.render(s).c_str());
+    std::printf("\n%s",
+                report::renderStepStats(synth.stepStats(), &slc.stats())
+                    .c_str());
+    return 0;
+}
+
+int
+cmdContracts(const std::string &duv, const CliOptions &o)
+{
+    Harness hx(buildByName(duv));
+    r2m::MuPathSynthesizer synth(hx, synthConfig(o));
+    slc::SynthLcConfig lc;
+    lc.budget.maxConflicts = o.budget;
+    slc::SynthLc slc(hx, lc);
+    std::vector<std::string> names = o.instrs;
+    if (names.empty()) {
+        for (const auto &ins : hx.duv().instrs)
+            names.push_back(ins.name);
+        if (names.size() > 5)
+            names.resize(5);
+    }
+    ct::AnalysisDb db;
+    db.hx = &hx;
+    std::vector<uhb::InstrId> ids;
+    for (const auto &n : names)
+        ids.push_back(hx.duv().instrId(n));
+    for (uhb::InstrId i : ids) {
+        std::fprintf(stderr, "analyzing %s...\n",
+                     hx.duv().instrs[i].name.c_str());
+        auto paths = synth.synthesize(i);
+        auto sigs = slc.analyze(i, paths.decisions, ids);
+        for (auto &s : sigs)
+            db.signatures.push_back(std::move(s));
+        db.paths[i] = std::move(paths);
+    }
+    std::printf("%s\n", ct::renderContracts(db).c_str());
+    std::printf("%s\n", report::renderFig8Matrix(db).c_str());
+    return 0;
+}
+
+int
+cmdBugs(const std::string &duv, const CliOptions &o)
+{
+    Harness hx(buildByName(duv));
+    r2m::MuPathSynthesizer synth(hx, synthConfig(o));
+    auto pls = synth.duvPls();
+    std::printf("%s: %zu/%zu candidate PLs reachable\n",
+                hx.duv().name.c_str(), pls.size(), hx.numPls());
+    std::vector<bool> reach(hx.numPls(), false);
+    for (uhb::PlId p : pls)
+        reach[p] = true;
+    for (uhb::PlId p = 0; p < hx.numPls(); p++)
+        if (!reach[p])
+            std::printf("  UNREACHABLE: %s\n", hx.plName(p).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: rmp "
+                             "list|upaths|leakage|contracts|bugs ...\n");
+        return 1;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "list") {
+        std::printf("tiny3 tiny3-zs mcva mcva-mul mcva-op mcva-fixed "
+                    "mcva-scbbug dcache\n");
+        return 0;
+    }
+    if (cmd == "upaths" && argc >= 4)
+        return cmdUpaths(argv[2], argv[3], parseOptions(argc, argv, 4));
+    if (cmd == "leakage" && argc >= 4)
+        return cmdLeakage(argv[2], argv[3], parseOptions(argc, argv, 4));
+    if (cmd == "contracts" && argc >= 3)
+        return cmdContracts(argv[2], parseOptions(argc, argv, 3));
+    if (cmd == "bugs" && argc >= 3)
+        return cmdBugs(argv[2], parseOptions(argc, argv, 3));
+    std::fprintf(stderr, "bad command line; see the header comment\n");
+    return 1;
+}
