@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_leakage.dir/bench_cache_leakage.cpp.o"
+  "CMakeFiles/bench_cache_leakage.dir/bench_cache_leakage.cpp.o.d"
+  "bench_cache_leakage"
+  "bench_cache_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

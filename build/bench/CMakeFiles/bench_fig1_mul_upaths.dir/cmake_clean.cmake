@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mul_upaths.dir/bench_fig1_mul_upaths.cpp.o"
+  "CMakeFiles/bench_fig1_mul_upaths.dir/bench_fig1_mul_upaths.cpp.o.d"
+  "bench_fig1_mul_upaths"
+  "bench_fig1_mul_upaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mul_upaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cache_upaths.dir/bench_fig4_cache_upaths.cpp.o"
+  "CMakeFiles/bench_fig4_cache_upaths.dir/bench_fig4_cache_upaths.cpp.o.d"
+  "bench_fig4_cache_upaths"
+  "bench_fig4_cache_upaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cache_upaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_properties.dir/bench_perf_properties.cpp.o"
+  "CMakeFiles/bench_perf_properties.dir/bench_perf_properties.cpp.o.d"
+  "bench_perf_properties"
+  "bench_perf_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

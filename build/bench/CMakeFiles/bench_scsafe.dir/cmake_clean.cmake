@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scsafe.dir/bench_scsafe.cpp.o"
+  "CMakeFiles/bench_scsafe.dir/bench_scsafe.cpp.o.d"
+  "bench_scsafe"
+  "bench_scsafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scsafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

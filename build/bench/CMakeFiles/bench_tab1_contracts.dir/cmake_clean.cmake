@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_contracts.dir/bench_tab1_contracts.cpp.o"
+  "CMakeFiles/bench_tab1_contracts.dir/bench_tab1_contracts.cpp.o.d"
+  "bench_tab1_contracts"
+  "bench_tab1_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

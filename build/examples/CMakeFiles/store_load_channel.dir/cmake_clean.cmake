@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_load_channel.dir/store_load_channel.cpp.o"
+  "CMakeFiles/store_load_channel.dir/store_load_channel.cpp.o.d"
+  "store_load_channel"
+  "store_load_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_load_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_skip_multiplier.dir/zero_skip_multiplier.cpp.o"
+  "CMakeFiles/zero_skip_multiplier.dir/zero_skip_multiplier.cpp.o.d"
+  "zero_skip_multiplier"
+  "zero_skip_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_skip_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

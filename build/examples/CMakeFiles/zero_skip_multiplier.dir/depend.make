@@ -1,0 +1,2 @@
+# Empty dependencies file for zero_skip_multiplier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("rtlir")
+subdirs("sim")
+subdirs("sat")
+subdirs("bmc")
+subdirs("ift")
+subdirs("uhb")
+subdirs("designs")
+subdirs("rtl2mupath")
+subdirs("synthlc")
+subdirs("contracts")
+subdirs("report")

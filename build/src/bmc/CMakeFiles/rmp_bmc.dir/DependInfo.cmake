@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prop/property.cc" "src/bmc/CMakeFiles/rmp_bmc.dir/__/prop/property.cc.o" "gcc" "src/bmc/CMakeFiles/rmp_bmc.dir/__/prop/property.cc.o.d"
+  "/root/repo/src/bmc/aig.cc" "src/bmc/CMakeFiles/rmp_bmc.dir/aig.cc.o" "gcc" "src/bmc/CMakeFiles/rmp_bmc.dir/aig.cc.o.d"
+  "/root/repo/src/bmc/engine.cc" "src/bmc/CMakeFiles/rmp_bmc.dir/engine.cc.o" "gcc" "src/bmc/CMakeFiles/rmp_bmc.dir/engine.cc.o.d"
+  "/root/repo/src/bmc/unroll.cc" "src/bmc/CMakeFiles/rmp_bmc.dir/unroll.cc.o" "gcc" "src/bmc/CMakeFiles/rmp_bmc.dir/unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtlir/CMakeFiles/rmp_rtlir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/rmp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_bmc.dir/__/prop/property.cc.o"
+  "CMakeFiles/rmp_bmc.dir/__/prop/property.cc.o.d"
+  "CMakeFiles/rmp_bmc.dir/aig.cc.o"
+  "CMakeFiles/rmp_bmc.dir/aig.cc.o.d"
+  "CMakeFiles/rmp_bmc.dir/engine.cc.o"
+  "CMakeFiles/rmp_bmc.dir/engine.cc.o.d"
+  "CMakeFiles/rmp_bmc.dir/unroll.cc.o"
+  "CMakeFiles/rmp_bmc.dir/unroll.cc.o.d"
+  "librmp_bmc.a"
+  "librmp_bmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

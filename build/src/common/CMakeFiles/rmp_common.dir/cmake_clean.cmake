@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_common.dir/bitvec.cc.o"
+  "CMakeFiles/rmp_common.dir/bitvec.cc.o.d"
+  "CMakeFiles/rmp_common.dir/logging.cc.o"
+  "CMakeFiles/rmp_common.dir/logging.cc.o.d"
+  "CMakeFiles/rmp_common.dir/table.cc.o"
+  "CMakeFiles/rmp_common.dir/table.cc.o.d"
+  "librmp_common.a"
+  "librmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_contracts.dir/contracts.cc.o"
+  "CMakeFiles/rmp_contracts.dir/contracts.cc.o.d"
+  "librmp_contracts.a"
+  "librmp_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

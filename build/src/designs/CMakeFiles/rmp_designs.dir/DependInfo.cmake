@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/dcache.cc" "src/designs/CMakeFiles/rmp_designs.dir/dcache.cc.o" "gcc" "src/designs/CMakeFiles/rmp_designs.dir/dcache.cc.o.d"
+  "/root/repo/src/designs/driver.cc" "src/designs/CMakeFiles/rmp_designs.dir/driver.cc.o" "gcc" "src/designs/CMakeFiles/rmp_designs.dir/driver.cc.o.d"
+  "/root/repo/src/designs/dutil.cc" "src/designs/CMakeFiles/rmp_designs.dir/dutil.cc.o" "gcc" "src/designs/CMakeFiles/rmp_designs.dir/dutil.cc.o.d"
+  "/root/repo/src/designs/harness.cc" "src/designs/CMakeFiles/rmp_designs.dir/harness.cc.o" "gcc" "src/designs/CMakeFiles/rmp_designs.dir/harness.cc.o.d"
+  "/root/repo/src/designs/mcva.cc" "src/designs/CMakeFiles/rmp_designs.dir/mcva.cc.o" "gcc" "src/designs/CMakeFiles/rmp_designs.dir/mcva.cc.o.d"
+  "/root/repo/src/designs/mcva_isa.cc" "src/designs/CMakeFiles/rmp_designs.dir/mcva_isa.cc.o" "gcc" "src/designs/CMakeFiles/rmp_designs.dir/mcva_isa.cc.o.d"
+  "/root/repo/src/designs/tiny3.cc" "src/designs/CMakeFiles/rmp_designs.dir/tiny3.cc.o" "gcc" "src/designs/CMakeFiles/rmp_designs.dir/tiny3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtlir/CMakeFiles/rmp_rtlir.dir/DependInfo.cmake"
+  "/root/repo/build/src/uhb/CMakeFiles/rmp_uhb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmc/CMakeFiles/rmp_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/rmp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_designs.dir/dcache.cc.o"
+  "CMakeFiles/rmp_designs.dir/dcache.cc.o.d"
+  "CMakeFiles/rmp_designs.dir/driver.cc.o"
+  "CMakeFiles/rmp_designs.dir/driver.cc.o.d"
+  "CMakeFiles/rmp_designs.dir/dutil.cc.o"
+  "CMakeFiles/rmp_designs.dir/dutil.cc.o.d"
+  "CMakeFiles/rmp_designs.dir/harness.cc.o"
+  "CMakeFiles/rmp_designs.dir/harness.cc.o.d"
+  "CMakeFiles/rmp_designs.dir/mcva.cc.o"
+  "CMakeFiles/rmp_designs.dir/mcva.cc.o.d"
+  "CMakeFiles/rmp_designs.dir/mcva_isa.cc.o"
+  "CMakeFiles/rmp_designs.dir/mcva_isa.cc.o.d"
+  "CMakeFiles/rmp_designs.dir/tiny3.cc.o"
+  "CMakeFiles/rmp_designs.dir/tiny3.cc.o.d"
+  "librmp_designs.a"
+  "librmp_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_ift.dir/instrument.cc.o"
+  "CMakeFiles/rmp_ift.dir/instrument.cc.o.d"
+  "librmp_ift.a"
+  "librmp_ift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_ift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

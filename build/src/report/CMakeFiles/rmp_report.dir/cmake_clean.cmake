@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_report.dir/report.cc.o"
+  "CMakeFiles/rmp_report.dir/report.cc.o.d"
+  "librmp_report.a"
+  "librmp_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_r2m.dir/sim_explore.cc.o"
+  "CMakeFiles/rmp_r2m.dir/sim_explore.cc.o.d"
+  "CMakeFiles/rmp_r2m.dir/synth.cc.o"
+  "CMakeFiles/rmp_r2m.dir/synth.cc.o.d"
+  "librmp_r2m.a"
+  "librmp_r2m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_r2m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

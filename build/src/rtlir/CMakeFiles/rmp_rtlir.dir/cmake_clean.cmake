@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_rtlir.dir/builder.cc.o"
+  "CMakeFiles/rmp_rtlir.dir/builder.cc.o.d"
+  "CMakeFiles/rmp_rtlir.dir/design.cc.o"
+  "CMakeFiles/rmp_rtlir.dir/design.cc.o.d"
+  "librmp_rtlir.a"
+  "librmp_rtlir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_rtlir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_sat.dir/dimacs.cc.o"
+  "CMakeFiles/rmp_sat.dir/dimacs.cc.o.d"
+  "CMakeFiles/rmp_sat.dir/solver.cc.o"
+  "CMakeFiles/rmp_sat.dir/solver.cc.o.d"
+  "librmp_sat.a"
+  "librmp_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

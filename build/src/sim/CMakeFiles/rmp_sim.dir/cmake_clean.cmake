@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_sim.dir/simulator.cc.o"
+  "CMakeFiles/rmp_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/rmp_sim.dir/vcd.cc.o"
+  "CMakeFiles/rmp_sim.dir/vcd.cc.o.d"
+  "librmp_sim.a"
+  "librmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

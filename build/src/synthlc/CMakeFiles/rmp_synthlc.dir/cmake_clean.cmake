@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_synthlc.dir/synthlc.cc.o"
+  "CMakeFiles/rmp_synthlc.dir/synthlc.cc.o.d"
+  "librmp_synthlc.a"
+  "librmp_synthlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_synthlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

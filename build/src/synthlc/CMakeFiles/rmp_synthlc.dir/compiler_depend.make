@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rmp_synthlc.
+# This may be replaced when dependencies are built.

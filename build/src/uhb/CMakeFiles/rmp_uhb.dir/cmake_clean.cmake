@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp_uhb.dir/duv.cc.o"
+  "CMakeFiles/rmp_uhb.dir/duv.cc.o.d"
+  "CMakeFiles/rmp_uhb.dir/graph.cc.o"
+  "CMakeFiles/rmp_uhb.dir/graph.cc.o.d"
+  "CMakeFiles/rmp_uhb.dir/ufsm.cc.o"
+  "CMakeFiles/rmp_uhb.dir/ufsm.cc.o.d"
+  "librmp_uhb.a"
+  "librmp_uhb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp_uhb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dcache.cc" "tests/CMakeFiles/test_dcache.dir/test_dcache.cc.o" "gcc" "tests/CMakeFiles/test_dcache.dir/test_dcache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/designs/CMakeFiles/rmp_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uhb/CMakeFiles/rmp_uhb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmc/CMakeFiles/rmp_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlir/CMakeFiles/rmp_rtlir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/rmp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

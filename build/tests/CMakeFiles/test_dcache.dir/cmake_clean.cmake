@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcache.dir/test_dcache.cc.o"
+  "CMakeFiles/test_dcache.dir/test_dcache.cc.o.d"
+  "test_dcache"
+  "test_dcache.pdb"
+  "test_dcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ift.dir/test_ift.cc.o"
+  "CMakeFiles/test_ift.dir/test_ift.cc.o.d"
+  "test_ift"
+  "test_ift.pdb"
+  "test_ift[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ift_property.dir/test_ift_property.cc.o"
+  "CMakeFiles/test_ift_property.dir/test_ift_property.cc.o.d"
+  "test_ift_property"
+  "test_ift_property.pdb"
+  "test_ift_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ift_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

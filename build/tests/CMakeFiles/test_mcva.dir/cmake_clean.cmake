@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcva.dir/test_mcva.cc.o"
+  "CMakeFiles/test_mcva.dir/test_mcva.cc.o.d"
+  "test_mcva"
+  "test_mcva.pdb"
+  "test_mcva[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcva_formal.dir/test_mcva_formal.cc.o"
+  "CMakeFiles/test_mcva_formal.dir/test_mcva_formal.cc.o.d"
+  "test_mcva_formal"
+  "test_mcva_formal.pdb"
+  "test_mcva_formal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcva_formal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

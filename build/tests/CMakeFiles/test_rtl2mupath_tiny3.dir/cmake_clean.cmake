@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl2mupath_tiny3.dir/test_rtl2mupath_tiny3.cc.o"
+  "CMakeFiles/test_rtl2mupath_tiny3.dir/test_rtl2mupath_tiny3.cc.o.d"
+  "test_rtl2mupath_tiny3"
+  "test_rtl2mupath_tiny3.pdb"
+  "test_rtl2mupath_tiny3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl2mupath_tiny3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtlir.dir/test_rtlir.cc.o"
+  "CMakeFiles/test_rtlir.dir/test_rtlir.cc.o.d"
+  "test_rtlir"
+  "test_rtlir.pdb"
+  "test_rtlir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtlir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sat_dimacs_prove.dir/test_sat_dimacs_prove.cc.o"
+  "CMakeFiles/test_sat_dimacs_prove.dir/test_sat_dimacs_prove.cc.o.d"
+  "test_sat_dimacs_prove"
+  "test_sat_dimacs_prove.pdb"
+  "test_sat_dimacs_prove[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sat_dimacs_prove.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

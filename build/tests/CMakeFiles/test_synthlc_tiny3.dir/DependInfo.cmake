@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_synthlc_tiny3.cc" "tests/CMakeFiles/test_synthlc_tiny3.dir/test_synthlc_tiny3.cc.o" "gcc" "tests/CMakeFiles/test_synthlc_tiny3.dir/test_synthlc_tiny3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synthlc/CMakeFiles/rmp_synthlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl2mupath/CMakeFiles/rmp_r2m.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/rmp_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ift/CMakeFiles/rmp_ift.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmc/CMakeFiles/rmp_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/rmp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uhb/CMakeFiles/rmp_uhb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlir/CMakeFiles/rmp_rtlir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_rtlir[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_bmc[1]_include.cmake")
+include("/root/repo/build/tests/test_tiny3[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl2mupath_tiny3[1]_include.cmake")
+include("/root/repo/build/tests/test_ift[1]_include.cmake")
+include("/root/repo/build/tests/test_synthlc_tiny3[1]_include.cmake")
+include("/root/repo/build/tests/test_mcva[1]_include.cmake")
+include("/root/repo/build/tests/test_contracts[1]_include.cmake")
+include("/root/repo/build/tests/test_dcache[1]_include.cmake")
+include("/root/repo/build/tests/test_mcva_formal[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_ift_property[1]_include.cmake")
+include("/root/repo/build/tests/test_sat_dimacs_prove[1]_include.cmake")

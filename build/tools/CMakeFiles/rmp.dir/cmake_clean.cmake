@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmp.dir/rmp_cli.cpp.o"
+  "CMakeFiles/rmp.dir/rmp_cli.cpp.o.d"
+  "rmp"
+  "rmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
