@@ -2,17 +2,24 @@
  * @file
  * §VII-B3 — property-evaluation statistics: per-step property counts,
  * outcome breakdown, undetermined fraction, and the core-vs-cache
- * (whole-vs-modular) per-property cost comparison.
+ * (whole-vs-modular) per-property cost comparison, plus the engine-pool
+ * parallel-evaluation speedup (jobs=1 vs jobs=4 on the same workload).
  *
  * The paper reports 124,459 RTL2MμPATH properties at 4.43 min/property
  * (16.39% undetermined) and 30,774 SynthLC properties at 2.35 min each
  * (13.74% undetermined) for the core, versus 4,178 properties at 3
- * *seconds* each for the cache. Absolute numbers are testbed-specific;
- * the shape we reproduce is (i) per-step property accounting, (ii) a
- * nonzero undetermined fraction under a finite budget, treated as
- * unreachable (§VII-B4), and (iii) the order-of-magnitude modularity win
- * of the cache DUV.
+ * *seconds* each for the cache — evaluated on JasperGold's proof grid.
+ * Absolute numbers are testbed-specific; the shape we reproduce is
+ * (i) per-step property accounting, (ii) a nonzero undetermined fraction
+ * under a finite budget, treated as unreachable (§VII-B4), (iii) the
+ * order-of-magnitude modularity win of the cache DUV, and (iv) verdict
+ * tallies that are bit-identical across --jobs values (DESIGN.md
+ * §"Parallel evaluation").
+ *
+ * Machine-readable results land in BENCH_perf_properties.json.
  */
+
+#include <chrono>
 
 #include "bench/bench_util.hh"
 #include "designs/dcache.hh"
@@ -28,35 +35,69 @@ namespace
 struct RunCost
 {
     uint64_t props = 0;
-    double seconds = 0;
+    double seconds = 0;  ///< summed per-property solver time
+    double wall = 0;     ///< end-to-end wall-clock time
+    uint64_t reach = 0;
+    uint64_t unreach = 0;
     uint64_t undet = 0;
+    exec::PoolStats synthPool;
+    exec::PoolStats lcPool;
 };
 
 RunCost
-runOne(Harness &hx, const char *transponder, sat::SatBudget budget)
+runOne(Harness &hx, const char *transponder, sat::SatBudget budget,
+       unsigned jobs, bool verbose)
 {
+    auto t0 = std::chrono::steady_clock::now();
     r2m::SynthesisConfig scfg;
     scfg.budget = budget;
+    scfg.jobs = jobs;
     r2m::MuPathSynthesizer synth(hx, scfg);
     slc::SynthLcConfig lcfg;
     lcfg.budget = budget;
+    lcfg.jobs = jobs;
     slc::SynthLc slc(hx, lcfg);
     uhb::InstrId id = hx.duv().instrId(transponder);
     auto paths = synth.synthesize(id);
     slc.analyze(id, paths.decisions, {id});
-    std::printf("%s\n",
-                report::renderStepStats(synth.stepStats(), &slc.stats())
-                    .c_str());
+    auto t1 = std::chrono::steady_clock::now();
+    if (verbose)
+        std::printf("%s\n",
+                    report::renderStepStats(synth.stepStats(), &slc.stats())
+                        .c_str());
     RunCost c;
+    c.wall = std::chrono::duration<double>(t1 - t0).count();
     for (const auto &s : synth.stepStats()) {
         c.props += s.queries;
         c.seconds += s.seconds;
+        c.reach += s.reachable;
+        c.unreach += s.unreachable;
         c.undet += s.undetermined;
     }
     c.props += slc.stats().queries;
     c.seconds += slc.stats().seconds;
+    c.reach += slc.stats().reachable;
+    c.unreach += slc.stats().unreachable;
     c.undet += slc.stats().undetermined;
+    c.synthPool = synth.pool().stats();
+    c.lcPool = slc.pool().stats();
     return c;
+}
+
+std::string
+runJson(const RunCost &c)
+{
+    JsonReport j;
+    j.put("properties", c.props);
+    j.put("wall_seconds", c.wall);
+    j.put("solver_seconds", c.seconds);
+    j.put("properties_per_second", c.wall > 0 ? c.props / c.wall : 0.0);
+    j.put("reachable", c.reach);
+    j.put("unreachable", c.unreach);
+    j.put("undetermined", c.undet);
+    j.putRaw("rtl2mupath_pool", poolStatsJson(c.synthPool));
+    j.putRaw("synthlc_pool", poolStatsJson(c.lcPool));
+    return j.str();
 }
 
 } // namespace
@@ -68,19 +109,35 @@ main()
     sat::SatBudget tight;
     tight.maxConflicts = fullMode() ? 200'000 : 8'000;
 
-    std::printf("\n-- Core DUV (MiniCVA), transponder LW\n");
+    // Parallel-evaluation comparison: the same core workload at jobs=1
+    // and jobs=4. Verdict tallies must match exactly; wall time is the
+    // only thing allowed to differ.
+    std::printf("\n-- Core DUV (MiniCVA), transponder LW, jobs=1\n");
     Harness core(buildMcva());
-    RunCost c = runOne(core, "LW", tight);
+    RunCost c1 = runOne(core, "LW", tight, 1, true);
+    std::printf("\n-- Core DUV (MiniCVA), transponder LW, jobs=4\n");
+    RunCost c4 = runOne(core, "LW", tight, 4, false);
+    bool tallies_match = c1.props == c4.props && c1.reach == c4.reach &&
+                         c1.unreach == c4.unreach && c1.undet == c4.undet;
+    double speedup = c4.wall > 0 ? c1.wall / c4.wall : 0;
+    std::printf("jobs=1: %.2fs wall   jobs=4: %.2fs wall   speedup %.2fx   "
+                "tallies %s\n",
+                c1.wall, c4.wall, speedup,
+                tallies_match ? "identical" : "MISMATCH");
+    std::printf("query cache: %llu hits / %llu misses (rtl2mupath, "
+                "jobs=4 run)\n",
+                (unsigned long long)c4.synthPool.cache.hits,
+                (unsigned long long)c4.synthPool.cache.misses);
 
     std::printf("\n-- Cache DUV (modular), transponder LDREQ\n");
     Harness cache(buildDcache());
-    RunCost k = runOne(cache, "LDREQ", tight);
+    RunCost k = runOne(cache, "LDREQ", tight, benchJobs(), true);
 
-    double core_avg = c.props ? c.seconds / c.props : 0;
+    double core_avg = c1.props ? c1.seconds / c1.props : 0;
     double cache_avg = k.props ? k.seconds / k.props : 0;
     std::printf("\ncore:  %llu properties, %.3f s avg, %llu undetermined\n",
-                (unsigned long long)c.props, core_avg,
-                (unsigned long long)c.undet);
+                (unsigned long long)c1.props, core_avg,
+                (unsigned long long)c1.undet);
     std::printf("cache: %llu properties, %.3f s avg, %llu undetermined\n",
                 (unsigned long long)k.props, cache_avg,
                 (unsigned long long)k.undet);
@@ -91,5 +148,23 @@ main()
                   std::to_string(cache_avg > 0 ? core_avg / cache_avg : 0) +
                   "x cheaper than core properties on average "
                   "(same order-of-magnitude modularity win)");
-    return 0;
+
+    JsonReport out;
+    out.put("bench", std::string("perf_properties"));
+    out.put("duv_core", std::string("mcva"));
+    out.put("duv_cache", std::string("dcache"));
+    out.put("budget_max_conflicts", (uint64_t)tight.maxConflicts);
+    out.putRaw("core_jobs1", runJson(c1));
+    out.putRaw("core_jobs4", runJson(c4));
+    out.putRaw("cache", runJson(k));
+    out.put("speedup_jobs4_over_jobs1", speedup);
+    out.putRaw("tallies_match", tallies_match ? "true" : "false");
+    out.put("core_avg_seconds_per_property", core_avg);
+    out.put("cache_avg_seconds_per_property", cache_avg);
+    const char *path = "BENCH_perf_properties.json";
+    if (out.writeFile(path))
+        std::printf("\nwrote %s\n", path);
+    else
+        std::printf("\nFAILED to write %s\n", path);
+    return tallies_match ? 0 : 1;
 }

@@ -11,9 +11,12 @@
 #ifndef BENCH_BENCH_UTIL_HH
 #define BENCH_BENCH_UTIL_HH
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "contracts/contracts.hh"
@@ -33,6 +36,14 @@ fullMode()
     return v && v[0] == '1';
 }
 
+/** Worker threads for bench runs: RMP_JOBS env, else hardware default. */
+inline unsigned
+benchJobs()
+{
+    const char *v = std::getenv("RMP_JOBS");
+    return v ? static_cast<unsigned>(std::strtoul(v, nullptr, 10)) : 0;
+}
+
 /** Default per-query SAT budget for bench runs. */
 inline sat::SatBudget
 benchBudget()
@@ -50,6 +61,7 @@ benchSynthConfig()
     c.budget = benchBudget();
     c.closureChecks = fullMode();
     c.explore.runs = fullMode() ? 2000 : 800;
+    c.jobs = benchJobs();
     return c;
 }
 
@@ -60,7 +72,114 @@ benchLcConfig()
     slc::SynthLcConfig c;
     c.budget.maxConflicts = fullMode() ? 200'000 : 500;
     c.simRuns = fullMode() ? 300 : 110;
+    c.jobs = benchJobs();
     return c;
+}
+
+/** Escape a string for embedding in a JSON document. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Minimal insertion-ordered JSON object builder for machine-readable
+ * bench result files (BENCH_*.json). Nest objects with putRaw(child
+ * JsonReport::str()).
+ */
+class JsonReport
+{
+  public:
+    void
+    put(const std::string &key, uint64_t v)
+    {
+        kv.emplace_back(key, std::to_string(v));
+    }
+    void
+    put(const std::string &key, double v)
+    {
+        if (!std::isfinite(v)) // JSON has no NaN/Inf
+            v = 0.0;
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        kv.emplace_back(key, buf);
+    }
+    void
+    put(const std::string &key, const std::string &v)
+    {
+        kv.emplace_back(key, "\"" + jsonEscape(v) + "\"");
+    }
+    /** Insert a pre-rendered JSON value (nested object/array). */
+    void
+    putRaw(const std::string &key, const std::string &json)
+    {
+        kv.emplace_back(key, json);
+    }
+
+    std::string
+    str() const
+    {
+        std::string out = "{";
+        for (size_t i = 0; i < kv.size(); i++) {
+            if (i)
+                out += ", ";
+            out += "\"" + jsonEscape(kv[i].first) + "\": " + kv[i].second;
+        }
+        return out + "}";
+    }
+
+    bool
+    writeFile(const std::string &path) const
+    {
+        std::ofstream f(path);
+        if (!f)
+            return false;
+        f << str() << "\n";
+        return static_cast<bool>(f);
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> kv;
+};
+
+/** Render an engine pool's aggregate statistics as a JSON object. */
+inline std::string
+poolStatsJson(const exec::PoolStats &s)
+{
+    JsonReport j;
+    j.put("solver_queries", s.engine.queries);
+    j.put("reachable", s.engine.reachable);
+    j.put("unreachable", s.engine.unreachable);
+    j.put("undetermined", s.engine.undetermined);
+    j.put("solver_seconds", s.engine.totalSeconds);
+    j.put("cache_hits", s.cache.hits);
+    j.put("cache_misses", s.cache.misses);
+    j.put("cache_entries", s.cache.entries);
+    j.put("lanes_built", static_cast<uint64_t>(s.lanesBuilt));
+    j.put("sat_conflicts", s.sat.conflicts);
+    j.put("sat_decisions", s.sat.decisions);
+    j.put("sat_propagations", s.sat.propagations);
+    j.put("sat_learned_clauses", s.sat.learnedClauses);
+    return j.str();
 }
 
 /** Print a section banner. */
@@ -94,11 +213,17 @@ analyzeInstructions(const designs::Harness &hx,
     std::vector<uhb::InstrId> txm;
     for (const auto &t : transmitters)
         txm.push_back(hx.duv().instrId(t));
-    for (const auto &p : transponders) {
-        uhb::InstrId id = hx.duv().instrId(p);
-        std::printf("  analyzing %s ...\n", p.c_str());
+    std::vector<uhb::InstrId> ids;
+    for (const auto &p : transponders)
+        ids.push_back(hx.duv().instrId(p));
+    // Cross-IUV parallel synthesis (exploration + independent covers run
+    // through the engine pool up front).
+    auto all = synth.synthesizeAll(ids);
+    for (size_t i = 0; i < ids.size(); i++) {
+        uhb::InstrId id = ids[i];
+        std::printf("  analyzing %s ...\n", transponders[i].c_str());
         std::fflush(stdout);
-        uhb::InstrPaths paths = synth.synthesize(id);
+        uhb::InstrPaths paths = std::move(all.at(id));
         auto sigs = slc.analyze(id, paths.decisions, txm);
         for (auto &s : sigs)
             db.signatures.push_back(std::move(s));

@@ -117,8 +117,11 @@ class Engine
                        Witness *cex = nullptr);
 
     const EngineStats &stats() const { return stats_; }
+    /** Underlying solver statistics (merged across lanes by exec). */
+    const sat::SatStats &satStats() const { return solver.stats(); }
     const Design &design() const { return d; }
     unsigned bound() const { return cfg.bound; }
+    const EngineConfig &config() const { return cfg; }
 
   private:
     CoverResult run(const prop::ExprRef &seq,

@@ -1,0 +1,221 @@
+#include "exec/engine_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace rmp::exec
+{
+
+EnginePool::EnginePool(const Design &design,
+                       const bmc::EngineConfig &engine_cfg,
+                       const ExecConfig &exec_cfg)
+    : d(design), engCfg(engine_cfg), designFp(designFingerprint(design))
+{
+    unsigned lanes = exec_cfg.lanes ? exec_cfg.lanes : kDefaultLanes;
+    lanes_.resize(lanes);
+    unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = exec_cfg.jobs ? exec_cfg.jobs : std::max(1u, hw);
+    // Warm the design's lazy topo-order cache before any worker can race
+    // on it; every later const access is then read-only.
+    d.topoOrder();
+    if (jobs_ > 1) {
+        workers.reserve(jobs_);
+        for (unsigned i = 0; i < jobs_; i++)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+}
+
+EnginePool::~EnginePool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+bmc::Engine &
+EnginePool::laneEngine(unsigned lane)
+{
+    Lane &l = lanes_[lane];
+    if (!l.eng)
+        l.eng = std::make_unique<bmc::Engine>(d, engCfg);
+    return *l.eng;
+}
+
+bmc::CoverResult
+EnginePool::runOnLane(unsigned lane, const Query &q, const QueryKey &key)
+{
+    bmc::Engine &eng = laneEngine(lane);
+    bmc::CoverResult r =
+        q.fixedFrame >= 0
+            ? eng.coverAt(q.seq, q.assumes,
+                          static_cast<unsigned>(q.fixedFrame))
+            : eng.cover(q.seq, q.assumes);
+    cache_.put(key, r);
+    return r;
+}
+
+void
+EnginePool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cvWork.wait(lock, [this] { return stopping || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stopping, queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            pending--;
+        }
+        cvDone.notify_all();
+    }
+}
+
+void
+EnginePool::runTasks(std::vector<std::function<void()>> tasks)
+{
+    if (workers.empty() || tasks.size() <= 1) {
+        for (auto &t : tasks)
+            t();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        pending += tasks.size();
+        for (auto &t : tasks)
+            tasks_.push_back(std::move(t));
+    }
+    cvWork.notify_all();
+    std::unique_lock<std::mutex> lock(mu);
+    cvDone.wait(lock, [this] { return pending == 0; });
+}
+
+bmc::CoverResult
+EnginePool::eval(const Query &q)
+{
+    QueryKey key = makeQueryKey(designFp, engCfg, q.seq, q.assumes,
+                                q.fixedFrame);
+    CachedResult hit;
+    if (cache_.get(key, &hit))
+        return expandResult(hit, d);
+    unsigned lane = static_cast<unsigned>(nextLane++ % lanes_.size());
+    return runOnLane(lane, q, key);
+}
+
+std::vector<bmc::CoverResult>
+EnginePool::evalBatch(const std::vector<Query> &qs)
+{
+    std::vector<bmc::CoverResult> results(qs.size());
+    // Serial pass on the submitting thread: cache decisions and lane
+    // assignment happen in deterministic submission order.
+    std::vector<Unit> units;
+    std::map<std::pair<uint64_t, uint64_t>, size_t> firstUnit;
+    for (size_t i = 0; i < qs.size(); i++) {
+        QueryKey key = makeQueryKey(designFp, engCfg, qs[i].seq,
+                                    qs[i].assumes, qs[i].fixedFrame);
+        CachedResult hit;
+        if (cache_.get(key, &hit)) {
+            results[i] = expandResult(hit, d);
+            continue;
+        }
+        auto [it, fresh] =
+            firstUnit.try_emplace({key.lo, key.hi}, units.size());
+        if (!fresh) {
+            units[it->second].aliases.push_back(i);
+            continue;
+        }
+        Unit u;
+        u.key = key;
+        u.q = &qs[i];
+        u.primary = i;
+        u.lane = static_cast<unsigned>(nextLane++ % lanes_.size());
+        units.push_back(std::move(u));
+    }
+
+    // Group units by lane, preserving submission order within a lane.
+    std::vector<std::vector<Unit *>> perLane(lanes_.size());
+    for (Unit &u : units)
+        perLane[u.lane].push_back(&u);
+    std::vector<std::function<void()>> tasks;
+    for (auto &lane_units : perLane) {
+        if (lane_units.empty())
+            continue;
+        tasks.push_back([this, &results, lane_units] {
+            for (Unit *u : lane_units)
+                results[u->primary] = runOnLane(u->lane, *u->q, u->key);
+        });
+    }
+    runTasks(std::move(tasks));
+
+    // Serve in-batch duplicates from the now-published entries (counted
+    // as cache hits: they never touched a solver).
+    for (const Unit &u : units) {
+        for (size_t i : u.aliases) {
+            CachedResult hit;
+            bool ok = cache_.get(u.key, &hit);
+            rmp_assert(ok, "batch duplicate missing from cache");
+            results[i] = expandResult(hit, d);
+        }
+    }
+    return results;
+}
+
+void
+EnginePool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (workers.empty() || n <= 1) {
+        for (size_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+    auto next = std::make_shared<std::atomic<size_t>>(0);
+    size_t span = std::min<size_t>(jobs_, n);
+    std::vector<std::function<void()>> tasks;
+    for (size_t t = 0; t < span; t++) {
+        tasks.push_back([next, n, &fn] {
+            for (size_t i = (*next)++; i < n; i = (*next)++)
+                fn(i);
+        });
+    }
+    runTasks(std::move(tasks));
+}
+
+PoolStats
+EnginePool::stats() const
+{
+    PoolStats s;
+    for (const Lane &l : lanes_) {
+        if (!l.eng)
+            continue;
+        s.lanesBuilt++;
+        const bmc::EngineStats &e = l.eng->stats();
+        s.engine.queries += e.queries;
+        s.engine.reachable += e.reachable;
+        s.engine.unreachable += e.unreachable;
+        s.engine.undetermined += e.undetermined;
+        s.engine.totalSeconds += e.totalSeconds;
+        const sat::SatStats &st = l.eng->satStats();
+        s.sat.conflicts += st.conflicts;
+        s.sat.decisions += st.decisions;
+        s.sat.propagations += st.propagations;
+        s.sat.restarts += st.restarts;
+        s.sat.learnedClauses += st.learnedClauses;
+        s.sat.removedClauses += st.removedClauses;
+    }
+    s.cache = cache_.stats();
+    return s;
+}
+
+} // namespace rmp::exec

@@ -1,0 +1,138 @@
+#include "exec/query_cache.hh"
+
+#include <algorithm>
+
+namespace rmp::exec
+{
+
+namespace
+{
+
+/** splitmix64 finalizer (same combiner family as prop::exprHash). */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+keyWord(uint64_t seed, uint64_t design_fp, const bmc::EngineConfig &cfg,
+        const prop::ExprRef &seq, const std::vector<prop::ExprRef> &assumes,
+        int fixed_frame)
+{
+    uint64_t h = mix64(seed ^ design_fp);
+    h = mix64(h ^ cfg.bound);
+    h = mix64(h ^ cfg.budget.maxConflicts);
+    h = mix64(h ^ cfg.budget.maxPropagations);
+    h = mix64(h ^ static_cast<uint64_t>(cfg.validateWitnesses));
+    h = mix64(h ^ static_cast<uint64_t>(static_cast<int64_t>(fixed_frame)));
+    h = mix64(h ^ prop::exprHash(seq, seed));
+    // Assumes form a conjunction: order must not change the key.
+    std::vector<uint64_t> ah;
+    ah.reserve(assumes.size());
+    for (const auto &a : assumes)
+        ah.push_back(prop::exprHash(a, seed + 1));
+    std::sort(ah.begin(), ah.end());
+    for (uint64_t x : ah)
+        h = mix64(h ^ x);
+    return h;
+}
+
+} // anonymous namespace
+
+QueryKey
+makeQueryKey(uint64_t design_fp, const bmc::EngineConfig &cfg,
+             const prop::ExprRef &seq,
+             const std::vector<prop::ExprRef> &assumes, int fixed_frame)
+{
+    QueryKey k;
+    k.lo = keyWord(0x517cc1b727220a95ULL, design_fp, cfg, seq, assumes,
+                   fixed_frame);
+    k.hi = keyWord(0x2545f4914f6cdd1dULL, design_fp, cfg, seq, assumes,
+                   fixed_frame);
+    return k;
+}
+
+uint64_t
+designFingerprint(const Design &d)
+{
+    uint64_t h = mix64(0x9ae16a3b2f90404fULL ^ d.numCells());
+    for (SigId id = 0; id < d.numCells(); id++) {
+        const Cell &c = d.cell(id);
+        h = mix64(h ^ static_cast<uint64_t>(c.op));
+        h = mix64(h ^ c.width);
+        for (unsigned i = 0; i < 3; i++)
+            h = mix64(h ^ static_cast<uint64_t>(c.args[i]));
+        h = mix64(h ^ c.cval.value());
+        h = mix64(h ^ c.aux0);
+    }
+    return h;
+}
+
+CachedResult
+compressResult(const bmc::CoverResult &r)
+{
+    CachedResult c;
+    c.outcome = r.outcome;
+    if (r.outcome == bmc::Outcome::Reachable) {
+        c.inputs = r.witness.inputs;
+        c.matchFrame = r.witness.matchFrame;
+        c.hasTrace = r.witness.trace.numCycles() > 0;
+    }
+    return c;
+}
+
+bmc::CoverResult
+expandResult(const CachedResult &c, const Design &d)
+{
+    bmc::CoverResult r;
+    r.outcome = c.outcome;
+    r.seconds = 0.0; // a hit costs (essentially) nothing
+    if (c.outcome == bmc::Outcome::Reachable) {
+        r.witness.inputs = c.inputs;
+        r.witness.matchFrame = c.matchFrame;
+        if (c.hasTrace) {
+            Simulator sim(d);
+            for (const auto &in : c.inputs)
+                sim.step(in);
+            r.witness.trace = sim.trace();
+        }
+    }
+    return r;
+}
+
+bool
+QueryCache::get(const QueryKey &key, CachedResult *out)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = map.find(key);
+    if (it == map.end()) {
+        stats_.misses++;
+        return false;
+    }
+    stats_.hits++;
+    *out = it->second;
+    return true;
+}
+
+void
+QueryCache::put(const QueryKey &key, const bmc::CoverResult &result)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = map.emplace(key, compressResult(result));
+    (void)it;
+    if (inserted)
+        stats_.entries++;
+}
+
+CacheStats
+QueryCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return stats_;
+}
+
+} // namespace rmp::exec

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Cross-query memoization of BMC cover results.
+ *
+ * RTL2MμPATH and SynthLC instantiate the same property templates over and
+ * over — across pipeline steps, across IUVs, and across candidate sets —
+ * so the same (design, bound, budget, sequence, assumes, fixed-frame)
+ * query recurs many times per run. The QueryCache memoizes the full
+ * CoverResult (verdict + replay-validated witness) under a canonical
+ * 128-bit key covering the complete semantic input of a query, so a
+ * repeat is answered without touching a solver.
+ *
+ * Soundness: the key includes every input that can influence the verdict —
+ * the design fingerprint, the unrolling bound, the per-query SAT budget
+ * (budgets decide Undetermined outcomes), the structural hash of the
+ * cover sequence DAG, the multiset of assume hashes (conjunction is
+ * order-insensitive, so the per-assume hashes are sorted before mixing),
+ * and the fixed start frame. A cached Reachable witness was
+ * simulator-replayed when first computed and stays valid because the
+ * design is immutable.
+ */
+
+#ifndef EXEC_QUERY_CACHE_HH
+#define EXEC_QUERY_CACHE_HH
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "bmc/engine.hh"
+#include "prop/property.hh"
+
+namespace rmp::exec
+{
+
+/** Canonical 128-bit key of one cover query. */
+struct QueryKey
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool
+    operator==(const QueryKey &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+};
+
+struct QueryKeyHash
+{
+    size_t operator()(const QueryKey &k) const { return k.lo; }
+};
+
+/**
+ * Build the canonical key for one query.
+ *
+ * @p design_fp is the structural fingerprint of the design the engine
+ * unrolls (designFingerprint()); @p fixed_frame is -1 for any-frame
+ * covers, matching bmc::Engine::cover vs coverAt.
+ */
+QueryKey makeQueryKey(uint64_t design_fp, const bmc::EngineConfig &cfg,
+                      const prop::ExprRef &seq,
+                      const std::vector<prop::ExprRef> &assumes,
+                      int fixed_frame);
+
+/** Structural fingerprint of a Design (cells, widths, connectivity). */
+uint64_t designFingerprint(const Design &d);
+
+/** Cache counters (monotonic; read via EnginePool::stats). */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+};
+
+/**
+ * A CoverResult in its stored form: a Reachable witness keeps only its
+ * replayable per-cycle inputs, not the full all-signals trace (a trace is
+ * cells x bound x 8 bytes — megabytes on the core DUV — while the inputs
+ * are a few KB). expandResult() re-derives the identical trace by
+ * deterministic simulator replay, which is exactly how the engine
+ * produced the original trace during witness validation.
+ */
+struct CachedResult
+{
+    bmc::Outcome outcome = bmc::Outcome::Undetermined;
+    std::vector<InputMap> inputs;
+    unsigned matchFrame = 0;
+    bool hasTrace = false;
+};
+
+/** Compress a CoverResult for storage. */
+CachedResult compressResult(const bmc::CoverResult &r);
+
+/** Reconstruct the full CoverResult (replaying the witness on @p d). */
+bmc::CoverResult expandResult(const CachedResult &c, const Design &d);
+
+/**
+ * Thread-safe memoization table: QueryKey -> CachedResult.
+ *
+ * get()/put() are individually locked; the EnginePool performs all get()
+ * calls on the submitting thread (deterministic order) and put() calls
+ * from workers, so a result is published exactly once per key.
+ */
+class QueryCache
+{
+  public:
+    /** Look up @p key; returns true and fills @p out on a hit. */
+    bool get(const QueryKey &key, CachedResult *out);
+
+    /** Publish the result of a completed query. */
+    void put(const QueryKey &key, const bmc::CoverResult &result);
+
+    CacheStats stats() const;
+
+  private:
+    mutable std::mutex mu;
+    std::unordered_map<QueryKey, CachedResult, QueryKeyHash> map;
+    CacheStats stats_;
+};
+
+} // namespace rmp::exec
+
+#endif // EXEC_QUERY_CACHE_HH

@@ -1,6 +1,7 @@
 #include "prop/property.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.hh"
 
@@ -143,6 +144,47 @@ pDelay(ExprRef a, unsigned delay, ExprRef b)
     e->b = std::move(b);
     e->delay = delay;
     return e;
+}
+
+namespace
+{
+
+/** splitmix64 finalizer: the avalanche step used to combine hash words. */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+hashRec(const Expr *e, uint64_t seed,
+        std::unordered_map<const Expr *, uint64_t> &memo)
+{
+    auto it = memo.find(e);
+    if (it != memo.end())
+        return it->second;
+    uint64_t h = mix64(seed ^ static_cast<uint64_t>(e->kind));
+    h = mix64(h ^ static_cast<uint64_t>(e->sig));
+    h = mix64(h ^ e->value);
+    h = mix64(h ^ e->delay);
+    if (e->a)
+        h = mix64(h ^ hashRec(e->a.get(), seed, memo));
+    if (e->b)
+        h = mix64((h + 0x85ebca6bULL) ^ hashRec(e->b.get(), seed, memo));
+    memo.emplace(e, h);
+    return h;
+}
+
+} // anonymous namespace
+
+uint64_t
+exprHash(const ExprRef &e, uint64_t seed)
+{
+    std::unordered_map<const Expr *, uint64_t> memo;
+    return hashRec(e.get(), mix64(seed ^ 0xc2b2ae3d27d4eb4fULL), memo);
 }
 
 bmc::AigLit

@@ -69,6 +69,20 @@ ExprRef pDelay(ExprRef a, unsigned delay, ExprRef b);
 /// @}
 
 /**
+ * Canonical structural hash of an expression DAG, seeded by @p seed.
+ *
+ * Two structurally identical expressions hash equal regardless of how
+ * their nodes are shared; shared subtrees are visited once (memoized on
+ * node identity). Combining two calls with independent seeds yields a
+ * 128-bit digest, which exec::QueryCache uses to key memoized cover
+ * results — the hash covers every field that affects compile()/
+ * evalOnTrace() semantics (kind, signal, constant, bit index, delay,
+ * children), so equal digests mean semantically identical properties
+ * over the same design.
+ */
+uint64_t exprHash(const ExprRef &e, uint64_t seed = 0);
+
+/**
  * Compile @p e as observed starting at frame @p start.
  * Frames beyond the unrolling bound make the expression FALSE (a bounded
  * semantics; the engine accounts for this when deciding outcomes).

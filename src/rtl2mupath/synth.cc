@@ -45,9 +45,10 @@ const char *kStepNames[kNumSteps] = {
 MuPathSynthesizer::MuPathSynthesizer(const designs::Harness &harness,
                                      const SynthesisConfig &config)
     : hx(harness), cfg(config),
-      eng(harness.design(),
-          bmc::EngineConfig{harness.duv().completenessBound, config.budget,
-                            true}),
+      pool_(harness.design(),
+            bmc::EngineConfig{harness.duv().completenessBound, config.budget,
+                              true},
+            exec::ExecConfig{config.jobs, config.lanes}),
       base(harness.baseAssumes())
 {
     stats_.resize(kNumSteps);
@@ -55,19 +56,21 @@ MuPathSynthesizer::MuPathSynthesizer(const designs::Harness &harness,
         stats_[i].step = kStepNames[i];
 }
 
-CoverResult
-MuPathSynthesizer::query(size_t step, const ExprRef &seq,
-                         std::vector<ExprRef> assumes)
+exec::Query
+MuPathSynthesizer::mkQuery(const ExprRef &seq,
+                           std::vector<ExprRef> assumes) const
 {
     for (const auto &a : base)
         assumes.push_back(a);
-    CoverResult r = eng.cover(seq, assumes);
-    static const bool trace = std::getenv("RMP_TRACE_QUERIES") != nullptr;
-    if (trace)
-        std::fprintf(stderr, "[%s %s %.2fs] %s\n", kStepNames[step],
-                     bmc::outcomeName(r.outcome), r.seconds,
-                     seq->str(hx.design()).substr(0, 60).c_str());
-    StepStats &st = stats_[step];
+    return exec::Query{seq, std::move(assumes), -1};
+}
+
+namespace
+{
+
+void
+tallyQuery(StepStats &st, const CoverResult &r)
+{
     st.queries++;
     st.seconds += r.seconds;
     switch (r.outcome) {
@@ -75,7 +78,41 @@ MuPathSynthesizer::query(size_t step, const ExprRef &seq,
       case Outcome::Unreachable: st.unreachable++; break;
       case Outcome::Undetermined: st.undetermined++; break;
     }
+}
+
+void
+traceQuery(const Design &d, size_t step, const exec::Query &q,
+           const CoverResult &r)
+{
+    static const bool trace = std::getenv("RMP_TRACE_QUERIES") != nullptr;
+    if (trace)
+        std::fprintf(stderr, "[%s %s %.2fs] %s\n", kStepNames[step],
+                     bmc::outcomeName(r.outcome), r.seconds,
+                     q.seq->str(d).substr(0, 60).c_str());
+}
+
+} // anonymous namespace
+
+CoverResult
+MuPathSynthesizer::query(size_t step, const ExprRef &seq,
+                         std::vector<ExprRef> assumes)
+{
+    exec::Query q = mkQuery(seq, std::move(assumes));
+    CoverResult r = pool_.eval(q);
+    traceQuery(hx.design(), step, q, r);
+    tallyQuery(stats_[step], r);
     return r;
+}
+
+std::vector<CoverResult>
+MuPathSynthesizer::queryBatch(size_t step, std::vector<exec::Query> qs)
+{
+    std::vector<CoverResult> rs = pool_.evalBatch(qs);
+    for (size_t i = 0; i < rs.size(); i++) {
+        traceQuery(hx.design(), step, qs[i], rs[i]);
+        tallyQuery(stats_[step], rs[i]);
+    }
+    return rs;
 }
 
 const SimFacts &
@@ -110,11 +147,14 @@ MuPathSynthesizer::duvPls()
 {
     if (duvPlsDone)
         return duvPls_;
-    for (PlId p = 0; p < hx.numPls(); p++) {
-        CoverResult r = query(kDuvPl, pBit(hx.plSig(p).occupied), {});
-        if (isReach(r))
+    // Step-1 covers are mutually independent: one batch through the pool.
+    std::vector<exec::Query> qs;
+    for (PlId p = 0; p < hx.numPls(); p++)
+        qs.push_back(mkQuery(pBit(hx.plSig(p).occupied), {}));
+    std::vector<CoverResult> rs = queryBatch(kDuvPl, std::move(qs));
+    for (PlId p = 0; p < hx.numPls(); p++)
+        if (isReach(rs[p]))
             duvPls_.push_back(p);
-    }
     duvPlsDone = true;
     return duvPls_;
 }
@@ -123,19 +163,26 @@ std::vector<PlId>
 MuPathSynthesizer::iuvPls(InstrId iuv)
 {
     const SimFacts &f = facts(iuv);
-    std::vector<PlId> out;
+    // Per-PL step-2 covers are independent; batch the ones simulation did
+    // not already discharge, then merge in original PL order.
+    std::vector<std::pair<PlId, int>> slots; // (pl, query idx | -1)
+    std::vector<exec::Query> qs;
     for (PlId p : duvPls()) {
         if (f.iuvPls.count(p)) {
-            out.push_back(p); // reachable with a concrete sim witness
+            slots.emplace_back(p, -1); // reachable with a sim witness
             continue;
         }
         if (!cfg.closureChecks && cfg.useSimExploration)
             continue; // semi-formal profile: unobserved => unreachable
-        CoverResult r = query(kIuvPl, pBit(hx.plSig(p).iuvAt),
-                              {hx.assumeIuvIs(iuv)});
-        if (isReach(r))
-            out.push_back(p);
+        slots.emplace_back(p, static_cast<int>(qs.size()));
+        qs.push_back(
+            mkQuery(pBit(hx.plSig(p).iuvAt), {hx.assumeIuvIs(iuv)}));
     }
+    std::vector<CoverResult> rs = queryBatch(kIuvPl, std::move(qs));
+    std::vector<PlId> out;
+    for (auto [p, qi] : slots)
+        if (qi < 0 || isReach(rs[qi]))
+            out.push_back(p);
     return out;
 }
 
@@ -151,34 +198,61 @@ MuPathSynthesizer::pruneFacts(InstrId iuv, const std::vector<PlId> &iuv_pls)
     ExprRef is_iuv = hx.assumeIuvIs(iuv);
     ExprRef gone = pBit(hx.iuvGone);
 
-    // Mandatory: no completed execution misses the PL.
-    for (size_t i = 0; i < n; i++) {
-        ExprRef vis = pBit(hx.plSig(iuv_pls[i]).iuvVisited);
-        CoverResult r = query(kPrune, pAnd(gone, pNot(vis)), {is_iuv});
+    // Mandatory: no completed execution misses the PL. The n covers are
+    // independent: one batch.
+    {
+        std::vector<exec::Query> qs;
+        for (size_t i = 0; i < n; i++) {
+            ExprRef vis = pBit(hx.plSig(iuv_pls[i]).iuvVisited);
+            qs.push_back(mkQuery(pAnd(gone, pNot(vis)), {is_iuv}));
+        }
+        std::vector<CoverResult> rs = queryBatch(kPrune, std::move(qs));
         // Note the polarity: an unreachable cover *proves* the fact; an
         // undetermined one must conservatively deny it (§VII-B4).
-        f.mandatory[i] = r.outcome == Outcome::Unreachable;
+        for (size_t i = 0; i < n; i++)
+            f.mandatory[i] = rs[i].outcome == Outcome::Unreachable;
     }
-    for (size_t i = 0; i < n; i++) {
-        for (size_t j = 0; j < n; j++) {
-            if (i == j)
-                continue;
-            ExprRef vi = pBit(hx.plSig(iuv_pls[i]).iuvVisited);
-            ExprRef vj = pBit(hx.plSig(iuv_pls[j]).iuvVisited);
-            if (i < j) {
-                // Exclusive: both visited is unreachable.
-                CoverResult r =
-                    query(kPrune, pAnd(vi, vj), {is_iuv});
-                bool ex = r.outcome == Outcome::Unreachable;
-                f.excl[i][j] = ex;
-                f.excl[j][i] = ex;
+    // Exclusive / dominance facts. Which dominance covers run depends only
+    // on the mandatory wave above, so the remaining O(n^2) covers form a
+    // second independent batch (same queries and skip rule as issuing them
+    // sequentially).
+    {
+        struct Slot
+        {
+            size_t i, j;
+            bool excl;
+        };
+        std::vector<Slot> slots;
+        std::vector<exec::Query> qs;
+        for (size_t i = 0; i < n; i++) {
+            for (size_t j = 0; j < n; j++) {
+                if (i == j)
+                    continue;
+                ExprRef vi = pBit(hx.plSig(iuv_pls[i]).iuvVisited);
+                ExprRef vj = pBit(hx.plSig(iuv_pls[j]).iuvVisited);
+                if (i < j) {
+                    // Exclusive: both visited is unreachable.
+                    slots.push_back({i, j, true});
+                    qs.push_back(mkQuery(pAnd(vi, vj), {is_iuv}));
+                }
+                if (f.mandatory[i])
+                    continue; // dominance implied; skip the query
+                // dom[i][j]: visiting j implies visiting i.
+                slots.push_back({i, j, false});
+                qs.push_back(
+                    mkQuery(pAnd(gone, pAnd(vj, pNot(vi))), {is_iuv}));
             }
-            if (f.mandatory[i])
-                continue; // dominance implied; skip the query
-            // dom[i][j]: visiting j implies visiting i.
-            CoverResult r =
-                query(kPrune, pAnd(gone, pAnd(vj, pNot(vi))), {is_iuv});
-            f.dom[i][j] = r.outcome == Outcome::Unreachable;
+        }
+        std::vector<CoverResult> rs = queryBatch(kPrune, std::move(qs));
+        for (size_t k = 0; k < slots.size(); k++) {
+            bool proven = rs[k].outcome == Outcome::Unreachable;
+            const Slot &s = slots[k];
+            if (s.excl) {
+                f.excl[s.i][s.j] = proven;
+                f.excl[s.j][s.i] = proven;
+            } else {
+                f.dom[s.i][s.j] = proven;
+            }
         }
     }
     for (size_t i = 0; i < n; i++)
@@ -294,13 +368,18 @@ MuPathSynthesizer::reachableSetsPaper(InstrId iuv,
     ExprRef gone = pBit(hx.iuvGone);
     PruneFacts facts = pruneFacts(iuv, iuv_pls);
     auto cands = enumerateCandidateSets(facts);
-    std::vector<std::pair<std::vector<PlId>, bmc::Witness>> out;
+    // One exact-visited-set cover per surviving candidate, all mutually
+    // independent: a single batch through the pool.
+    std::vector<exec::Query> qs;
     for (const auto &set : cands) {
         ExprRef exact = exprVisitedExactly(iuv_pls, set);
-        CoverResult r = query(kSetReach, pAnd(gone, exact), {is_iuv});
-        if (r.outcome == Outcome::Reachable)
-            out.emplace_back(set, std::move(r.witness));
+        qs.push_back(mkQuery(pAnd(gone, exact), {is_iuv}));
     }
+    std::vector<CoverResult> rs = queryBatch(kSetReach, std::move(qs));
+    std::vector<std::pair<std::vector<PlId>, bmc::Witness>> out;
+    for (size_t k = 0; k < cands.size(); k++)
+        if (rs[k].outcome == Outcome::Reachable)
+            out.emplace_back(cands[k], std::move(rs[k].witness));
     return out;
 }
 
@@ -361,9 +440,10 @@ MuPathSynthesizer::synthesize(InstrId iuv)
     // established ONCE per instruction by unconditioned covers and shared
     // across sets; a reachable witness is attributed to the exact set it
     // exhibits (read off its trace), preserving per-set precision without
-    // the paper's per-(set, fact) query blowup.
-    std::map<PlId, int> consec_glob, nonconsec_glob; // -1 unknown
-    std::map<std::pair<PlId, PlId>, int> edge_glob;
+    // the paper's per-(set, fact) query blowup. "Once" is enforced by the
+    // engine pool's query cache: re-issuing the identical cover from a
+    // later set replays the memoized verdict (and its witness) without
+    // touching a solver.
     auto witness_set_of = [&](const bmc::Witness &w) {
         std::vector<PlId> s;
         size_t last = w.trace.numCycles() - 1;
@@ -377,22 +457,16 @@ MuPathSynthesizer::synthesize(InstrId iuv)
         extra_nonconsec;
     std::map<std::vector<PlId>, std::set<std::pair<PlId, PlId>>>
         extra_edges;
-    auto glob_check = [&](std::map<PlId, int> &cache, PlId p, SigId flag,
+    auto glob_check = [&](PlId p, SigId flag,
                           std::map<std::vector<PlId>, std::set<PlId>>
                               &extra) {
-        auto it = cache.find(p);
-        if (it != cache.end())
-            return it->second;
-        if (!cfg.closureChecks) {
-            cache[p] = 0;
+        if (!cfg.closureChecks)
             return 0;
-        }
         CoverResult r =
             query(kRevisit, pAnd(gone, pBit(flag)), {is_iuv});
         int v = r.outcome == Outcome::Reachable ? 1 : 0;
-        if (v)
+        if (v) // idempotent on a cache-hit replay of the same witness
             extra[witness_set_of(r.witness)].insert(p);
-        cache[p] = v;
         return v;
     };
 
@@ -411,12 +485,10 @@ MuPathSynthesizer::synthesize(InstrId iuv)
                      extra_consec[set].count(p);
             bool nc = (sf && sf->nonconsec.count(p)) ||
                       extra_nonconsec[set].count(p);
-            if (!c && glob_check(consec_glob, p,
-                                 hx.plSig(p).revisitConsec,
+            if (!c && glob_check(p, hx.plSig(p).revisitConsec,
                                  extra_consec))
                 c = extra_consec[set].count(p) != 0;
-            if (!nc && glob_check(nonconsec_glob, p,
-                                  hx.plSig(p).revisitNonconsec,
+            if (!nc && glob_check(p, hx.plSig(p).revisitNonconsec,
                                   extra_nonconsec))
                 nc = extra_nonconsec[set].count(p) != 0;
             path.revisit[p] = c && nc ? Revisit::Both
@@ -435,16 +507,10 @@ MuPathSynthesizer::synthesize(InstrId iuv)
             bool have = (sf && sf->edges.count(key)) ||
                         extra_edges[set].count(key);
             if (!have && cfg.closureChecks) {
-                auto it = edge_glob.find(key);
-                if (it == edge_glob.end()) {
-                    CoverResult re = query(
-                        kHbEdge, pAnd(gone, pBit(eo.seen)), {is_iuv});
-                    int v = re.outcome == Outcome::Reachable ? 1 : 0;
-                    if (v)
-                        extra_edges[witness_set_of(re.witness)].insert(
-                            key);
-                    edge_glob[key] = v;
-                }
+                CoverResult re = query(
+                    kHbEdge, pAnd(gone, pBit(eo.seen)), {is_iuv});
+                if (re.outcome == Outcome::Reachable)
+                    extra_edges[witness_set_of(re.witness)].insert(key);
                 have = extra_edges[set].count(key) != 0;
             }
             if (have)
@@ -466,34 +532,40 @@ MuPathSynthesizer::synthesize(InstrId iuv)
             }
         }
 
-        // Step 6b: revisit cycle counts (§V-B6 mode (i)).
+        // Step 6b: revisit cycle counts (§V-B6 mode (i)). The per-(p, k)
+        // probes under this set are independent: one batch per set.
         if (cfg.revisitCounts) {
+            unsigned maxk = std::min(
+                cfg.maxRevisitCount,
+                (1u << designs::Harness::kCountWidth) - 1);
+            std::vector<std::tuple<PlId, unsigned, int>> probes;
+            std::vector<exec::Query> qs;
             for (PlId p : set) {
                 if (path.revisit[p] == Revisit::None)
                     continue;
-                std::vector<unsigned> counts;
-                unsigned maxk = std::min(
-                    cfg.maxRevisitCount,
-                    (1u << designs::Harness::kCountWidth) - 1);
+                path.revisitCounts[p]; // materialize (possibly empty)
                 for (unsigned k = 1; k <= maxk; k++) {
                     if (sf && sf->counts.count(p) &&
                         sf->counts.at(p).count(k)) {
-                        counts.push_back(k);
+                        probes.emplace_back(p, k, -1);
                         continue;
                     }
                     if (!cfg.closureChecks)
                         continue;
-                    CoverResult rk = query(
-                        kRevisitCount,
+                    probes.emplace_back(p, k,
+                                        static_cast<int>(qs.size()));
+                    qs.push_back(mkQuery(
                         pAnd(gone,
                              pAnd(exact,
                                   pEq(hx.plSig(p).visitCount, k))),
-                        {is_iuv});
-                    if (isReach(rk))
-                        counts.push_back(k);
+                        {is_iuv}));
                 }
-                path.revisitCounts[p] = std::move(counts);
             }
+            std::vector<CoverResult> rs =
+                queryBatch(kRevisitCount, std::move(qs));
+            for (auto [p, k, qi] : probes)
+                if (qi < 0 || isReach(rs[qi]))
+                    path.revisitCounts[p].push_back(k);
         }
 
         result.paths.push_back(std::move(path));
@@ -501,6 +573,61 @@ MuPathSynthesizer::synthesize(InstrId iuv)
 
     synthesizeDecisions(iuv, ipls, result);
     return result;
+}
+
+std::map<InstrId, uhb::InstrPaths>
+MuPathSynthesizer::synthesizeAll(const std::vector<InstrId> &iuvs)
+{
+    // Phase 1: simulation exploration per IUV. The explorations are pure
+    // functions of (harness, iuv, config) and run concurrently; tallies
+    // and the facts cache are merged serially in submission order.
+    if (cfg.useSimExploration) {
+        std::vector<InstrId> todo;
+        for (InstrId iuv : iuvs)
+            if (!factsCache.count(iuv))
+                todo.push_back(iuv);
+        std::vector<SimFacts> fresh(todo.size());
+        std::vector<double> secs(todo.size(), 0.0);
+        pool_.parallelFor(todo.size(), [&](size_t k) {
+            auto t0 = std::chrono::steady_clock::now();
+            fresh[k] = exploreSim(hx, todo[k], cfg.explore);
+            auto t1 = std::chrono::steady_clock::now();
+            secs[k] = std::chrono::duration<double>(t1 - t0).count();
+        });
+        for (size_t k = 0; k < todo.size(); k++) {
+            StepStats &st = stats_[kSimExplore];
+            st.queries += cfg.explore.runs;
+            st.reachable += fresh[k].sets.size();
+            st.seconds += secs[k];
+            factsCache.emplace(todo[k], std::move(fresh[k]));
+        }
+    }
+
+    // Phase 2: step-1 covers, shared by every IUV.
+    duvPls();
+
+    // Phase 3: prefetch every IUV's independent step-2 covers as one
+    // cross-IUV batch. No tallying here — the sequential synthesize()
+    // calls below re-issue the same queries, replay them from the cache,
+    // and tally each exactly once in the canonical order.
+    if (cfg.closureChecks || !cfg.useSimExploration) {
+        std::vector<exec::Query> prefetch;
+        for (InstrId iuv : iuvs) {
+            const SimFacts &f = facts(iuv);
+            for (PlId p : duvPls()) {
+                if (f.iuvPls.count(p))
+                    continue;
+                prefetch.push_back(mkQuery(pBit(hx.plSig(p).iuvAt),
+                                           {hx.assumeIuvIs(iuv)}));
+            }
+        }
+        pool_.evalBatch(prefetch);
+    }
+
+    std::map<InstrId, InstrPaths> out;
+    for (InstrId iuv : iuvs)
+        out.emplace(iuv, synthesize(iuv));
+    return out;
 }
 
 void

@@ -70,10 +70,11 @@ SynthLc::SynthLc(const designs::Harness &harness, const SynthLcConfig &config)
     : hx(harness), cfg(config),
       inst(ift::instrument(hx.design(), iftConfigFor(harness))),
       fsmTaint(buildFsmTaintWires(harness, inst)),
-      eng(*inst.design,
-          bmc::EngineConfig{config.bound ? config.bound
-                                         : hx.duv().completenessBound,
-                            config.budget, true}),
+      pool_(*inst.design,
+            bmc::EngineConfig{config.bound ? config.bound
+                                           : hx.duv().completenessBound,
+                              config.budget, true},
+            exec::ExecConfig{config.jobs, config.lanes}),
       base(hx.baseAssumes())
 {
 }
@@ -163,36 +164,12 @@ SynthLc::queryAssumes(InstrId transponder, InstrId transmitter, Operand op,
     return assumes;
 }
 
-bool
-SynthLc::decisionTaintReachable(InstrId transponder, const Decision &d,
-                                const std::vector<PlId> &succ_universe,
-                                InstrId transmitter, Operand op, TxType type)
-{
-    bmc::CoverResult r =
-        eng.cover(coverExpr(d, succ_universe),
-                  queryAssumes(transponder, transmitter, op, type, d.src));
-    stats_.queries++;
-    stats_.seconds += r.seconds;
-    switch (r.outcome) {
-      case bmc::Outcome::Reachable:
-        stats_.reachable++;
-        return true;
-      case bmc::Outcome::Unreachable:
-        stats_.unreachable++;
-        return false;
-      case bmc::Outcome::Undetermined:
-        stats_.undetermined++;
-        return cfg.undeterminedAsReachable;
-    }
-    return false;
-}
-
 void
 SynthLc::simBatch(InstrId transponder, InstrId transmitter, Operand op,
                   TxType type,
                   const std::map<PlId, std::vector<Decision>> &by_src,
                   const std::map<PlId, std::vector<PlId>> &universe,
-                  std::set<std::pair<PlId, Decision>> *hits)
+                  std::set<std::pair<PlId, Decision>> *hits) const
 {
     if (cfg.simRuns == 0)
         return;
@@ -214,7 +191,7 @@ SynthLc::simBatch(InstrId transponder, InstrId transmitter, Operand op,
     std::mt19937_64 rng(cfg.simSeed * 0x2545f4914f6cdd1dULL +
                         transponder * 131 + transmitter * 17 +
                         static_cast<int>(op) * 5 + static_cast<int>(type));
-    unsigned bound = eng.bound();
+    unsigned bound = pool_.bound();
 
     auto extra = [&](unsigned, Simulator &sim, InputMap &in) {
         bool at_issue = sim.regValue(info.issueOccupied) &&
@@ -272,7 +249,6 @@ SynthLc::simBatch(InstrId transponder, InstrId transmitter, Operand op,
                 for (unsigned t = 0; t + 1 < bound; t++) {
                     if (prop::evalOnTrace(cov, tr, t)) {
                         hits->insert({src, dec});
-                        stats_.simHits++;
                         break;
                     }
                 }
@@ -347,9 +323,15 @@ SynthLc::analyze(InstrId transponder, const std::vector<Decision> &decisions,
         if (ds.size() >= 2)
             sources[src] = ds;
 
-    // Per-(decision) tag accumulation, filled batch by batch.
-    std::map<std::pair<PlId, Decision>, std::vector<TransmitterInput>>
-        tags;
+    // Enumerate the (transmitter, operand, assumption) batches in the
+    // canonical order; every batch is independent of every other.
+    struct Batch
+    {
+        InstrId t;
+        Operand op;
+        TxType type;
+    };
+    std::vector<Batch> batches;
     for (InstrId t : transmitters) {
         const InstrSpec &spec = info.instrs[t];
         for (Operand op : {Operand::Rs1, Operand::Rs2}) {
@@ -357,32 +339,85 @@ SynthLc::analyze(InstrId transponder, const std::vector<Decision> &decisions,
                 continue;
             if (op == Operand::Rs2 && !spec.usesRs2)
                 continue;
-            std::vector<TxType> types;
             if (cfg.testIntrinsic && t == transponder)
-                types.push_back(TxType::Intrinsic);
+                batches.push_back({t, op, TxType::Intrinsic});
             if (cfg.testDynamicOlder)
-                types.push_back(TxType::DynamicOlder);
+                batches.push_back({t, op, TxType::DynamicOlder});
             if (cfg.testDynamicYounger)
-                types.push_back(TxType::DynamicYounger);
+                batches.push_back({t, op, TxType::DynamicYounger});
             if (cfg.testStatic)
-                types.push_back(TxType::Static);
-            for (TxType type : types) {
-                std::set<std::pair<PlId, Decision>> hits;
-                simBatch(transponder, t, op, type, sources, universe,
-                         &hits);
-                for (auto &[src, ds] : sources) {
-                    for (const Decision &d : ds) {
-                        bool hit = hits.count({src, d}) ||
-                                   decisionTaintReachable(
-                                       transponder, d, universe[src], t,
-                                       op, type);
-                        if (hit)
-                            tags[{src, d}].push_back({t, op, type});
-                    }
-                }
+                batches.push_back({t, op, TxType::Static});
+        }
+    }
+
+    // Phase A: taint-simulation pre-filtering. The batches are pure
+    // functions of their parameters and write index-distinct hit sets,
+    // so they run concurrently on the pool's workers; the simHits tally
+    // is folded in serially afterwards.
+    std::vector<std::set<std::pair<PlId, Decision>>> hits(batches.size());
+    pool_.parallelFor(batches.size(), [&](size_t k) {
+        simBatch(transponder, batches[k].t, batches[k].op, batches[k].type,
+                 sources, universe, &hits[k]);
+    });
+    for (const auto &h : hits)
+        stats_.simHits += h.size();
+
+    // Phase B: the decision_taint covers the simulations did not
+    // discharge. All of them — across every batch — are mutually
+    // independent, so they go through the pool as one batch; verdicts
+    // are tallied in submission order.
+    std::vector<exec::Query> qs;
+    for (size_t k = 0; k < batches.size(); k++) {
+        for (auto &[src, ds] : sources) {
+            for (const Decision &d : ds) {
+                if (hits[k].count({src, d}))
+                    continue;
+                qs.push_back(exec::Query{
+                    coverExpr(d, universe[src]),
+                    queryAssumes(transponder, batches[k].t, batches[k].op,
+                                 batches[k].type, src),
+                    -1});
             }
         }
     }
+    std::vector<bmc::CoverResult> rs = pool_.evalBatch(qs);
+
+    // Per-(decision) tag accumulation, in the canonical batch order.
+    std::map<std::pair<PlId, Decision>, std::vector<TransmitterInput>>
+        tags;
+    size_t pi = 0;
+    for (size_t k = 0; k < batches.size(); k++) {
+        for (auto &[src, ds] : sources) {
+            for (const Decision &d : ds) {
+                bool hit;
+                if (hits[k].count({src, d})) {
+                    hit = true;
+                } else {
+                    const bmc::CoverResult &r = rs[pi++];
+                    stats_.queries++;
+                    stats_.seconds += r.seconds;
+                    switch (r.outcome) {
+                      case bmc::Outcome::Reachable:
+                        stats_.reachable++;
+                        hit = true;
+                        break;
+                      case bmc::Outcome::Unreachable:
+                        stats_.unreachable++;
+                        hit = false;
+                        break;
+                      default:
+                        stats_.undetermined++;
+                        hit = cfg.undeterminedAsReachable;
+                        break;
+                    }
+                }
+                if (hit)
+                    tags[{src, d}].push_back(
+                        {batches[k].t, batches[k].op, batches[k].type});
+            }
+        }
+    }
+    rmp_assert(pi == rs.size(), "probe/result count mismatch");
 
     std::vector<LeakageSignature> out;
     for (auto &[src, ds] : sources) {

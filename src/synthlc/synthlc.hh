@@ -30,6 +30,7 @@
 
 #include "bmc/engine.hh"
 #include "designs/harness.hh"
+#include "exec/engine_pool.hh"
 #include "ift/instrument.hh"
 #include "uhb/graph.hh"
 
@@ -124,6 +125,14 @@ struct SynthLcConfig
      */
     unsigned simRuns = 160;
     uint64_t simSeed = 7;
+    /**
+     * Worker threads for parallel probe evaluation and taint simulation.
+     * 0 = hardware_concurrency(). Results are identical for every value
+     * (DESIGN.md §"Parallel evaluation").
+     */
+    unsigned jobs = 0;
+    /** Engine lanes (0 = exec::EnginePool::kDefaultLanes). */
+    unsigned lanes = 0;
 };
 
 /** Aggregate statistics for §VII-B3 reporting. */
@@ -155,7 +164,8 @@ class SynthLc
             const std::vector<uhb::InstrId> &transmitters);
 
     const SynthLcStats &stats() const { return stats_; }
-    const bmc::Engine &engine() const { return eng; }
+    /** Underlying engine pool (aggregate SAT/cache statistics). */
+    const exec::EnginePool &pool() const { return pool_; }
     const designs::Harness &harness() const { return hx; }
     const ift::Instrumented &instrumented() const { return inst; }
 
@@ -163,13 +173,6 @@ class SynthLc
     std::string render(const LeakageSignature &sig) const;
 
   private:
-    /** decision_taint cover for one (decision, T, op, assumption). */
-    bool decisionTaintReachable(uhb::InstrId transponder,
-                                const uhb::Decision &d,
-                                const std::vector<uhb::PlId> &succ_universe,
-                                uhb::InstrId transmitter, Operand op,
-                                TxType type);
-
     /** The decision_taint cover sequence (shared by sim and BMC). */
     prop::ExprRef coverExpr(const uhb::Decision &d,
                             const std::vector<uhb::PlId> &succ_universe)
@@ -183,7 +186,9 @@ class SynthLc
     /**
      * Run one batch of randomized taint simulations for (transmitter,
      * op, type) and record which decisions' covers were matched by a
-     * trace that satisfies all of that query's assumes.
+     * trace that satisfies all of that query's assumes. Pure with
+     * respect to *this (statistics are tallied by the caller), so
+     * independent batches may run concurrently.
      */
     void simBatch(uhb::InstrId transponder, uhb::InstrId transmitter,
                   Operand op, TxType type,
@@ -191,7 +196,8 @@ class SynthLc
                       &by_src,
                   const std::map<uhb::PlId, std::vector<uhb::PlId>>
                       &universe,
-                  std::set<std::pair<uhb::PlId, uhb::Decision>> *hits);
+                  std::set<std::pair<uhb::PlId, uhb::Decision>> *hits)
+        const;
 
     std::vector<std::string> implicitInputsOf(const uhb::Decision &d) const;
 
@@ -206,7 +212,7 @@ class SynthLc
      * engine so its eager unrolling covers them.
      */
     std::vector<SigId> fsmTaint;
-    bmc::Engine eng;
+    exec::EnginePool pool_;
     std::vector<prop::ExprRef> base;
     SynthLcStats stats_;
 };

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the parallel evaluation layer (src/exec): engine-pool eval
+ * vs. a direct engine, cross-query memoization (hits replay identical
+ * results, including witnesses), in-batch deduplication, jobs-invariant
+ * batch results, SAT-budget exhaustion surfacing end-to-end as
+ * Undetermined, and parallelFor coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "exec/engine_pool.hh"
+#include "rtlir/builder.hh"
+
+using namespace rmp;
+using namespace rmp::bmc;
+using namespace rmp::exec;
+using namespace rmp::prop;
+
+namespace
+{
+
+/** A free-running 4-bit counter design. */
+struct CounterDesign
+{
+    Design d{"counter"};
+    SigId cnt;
+
+    CounterDesign()
+    {
+        Builder b(d);
+        RegSig c = b.regh("cnt", 4, 0);
+        b.assign(c, c.q + b.lit(4, 1));
+        b.finalize();
+        cnt = c.q.id;
+    }
+};
+
+/**
+ * A hard instance for a conflict-limited solver: a registered 16x16-bit
+ * multiplier product of two free inputs, covered against a fixed
+ * semiprime constant. Finding (or refuting) a factorization needs far
+ * more than one conflict.
+ */
+struct FactorDesign
+{
+    Design d{"factor"};
+    SigId prod;
+
+    FactorDesign()
+    {
+        Builder b(d);
+        Sig a = b.input("a", 16);
+        Sig x = b.input("b", 16);
+        RegSig p = b.regh("prod", 16, 0);
+        b.assign(p, a * x);
+        b.finalize();
+        prod = p.q.id;
+    }
+
+    /** 251 * 241: a semiprime that fits 16 bits. */
+    static constexpr uint64_t kSemiprime = 60491;
+};
+
+EngineConfig
+counterCfg()
+{
+    EngineConfig cfg;
+    cfg.bound = 10;
+    return cfg;
+}
+
+void
+expectSameResult(const CoverResult &a, const CoverResult &b, SigId watch)
+{
+    ASSERT_EQ(a.outcome, b.outcome);
+    if (a.outcome != Outcome::Reachable)
+        return;
+    EXPECT_EQ(a.witness.matchFrame, b.witness.matchFrame);
+    ASSERT_EQ(a.witness.trace.numCycles(), b.witness.trace.numCycles());
+    for (size_t t = 0; t < a.witness.trace.numCycles(); t++)
+        EXPECT_EQ(a.witness.trace.value(t, watch),
+                  b.witness.trace.value(t, watch))
+            << "cycle " << t;
+}
+
+} // namespace
+
+TEST(Exec, EvalMatchesDirectEngine)
+{
+    CounterDesign cd;
+    Engine eng(cd.d, counterCfg());
+    CoverResult direct = eng.cover(pEq(cd.cnt, 7), {});
+
+    EnginePool pool(cd.d, counterCfg(), ExecConfig{1, 2});
+    CoverResult pooled = pool.eval(Query{pEq(cd.cnt, 7), {}, -1});
+    expectSameResult(direct, pooled, cd.cnt);
+    EXPECT_EQ(pooled.witness.matchFrame, 7u);
+}
+
+TEST(Exec, RepeatedQueryHitsCacheAndReplaysWitness)
+{
+    CounterDesign cd;
+    EnginePool pool(cd.d, counterCfg(), ExecConfig{1, 2});
+    CoverResult first = pool.eval(Query{pEq(cd.cnt, 7), {}, -1});
+    CoverResult again = pool.eval(Query{pEq(cd.cnt, 7), {}, -1});
+    expectSameResult(first, again, cd.cnt);
+
+    PoolStats s = pool.stats();
+    EXPECT_EQ(s.engine.queries, 1u); // one solver evaluation...
+    EXPECT_EQ(s.cache.hits, 1u);     // ...and one memoized replay
+    EXPECT_EQ(s.cache.misses, 1u);
+    EXPECT_EQ(s.cache.entries, 1u);
+}
+
+TEST(Exec, DistinctAssumesAndFramesAreDistinctCacheKeys)
+{
+    CounterDesign cd;
+    EnginePool pool(cd.d, counterCfg(), ExecConfig{1, 2});
+    CoverResult plain = pool.eval(Query{pEq(cd.cnt, 7), {}, -1});
+    // Same cover under a tautological assume: a different cache key even
+    // though the verdict cannot change.
+    ExprRef tauto = pOr(pEq(cd.cnt, 7), pNot(pEq(cd.cnt, 7)));
+    CoverResult assumed = pool.eval(Query{pEq(cd.cnt, 7), {tauto}, -1});
+    // Same cover pinned to a fixed frame: also a different query.
+    CoverResult pinned = pool.eval(Query{pEq(cd.cnt, 7), {}, 7});
+    EXPECT_EQ(plain.outcome, Outcome::Reachable);
+    EXPECT_EQ(assumed.outcome, Outcome::Reachable);
+    EXPECT_EQ(pinned.outcome, Outcome::Reachable);
+    PoolStats s = pool.stats();
+    EXPECT_EQ(s.cache.hits, 0u);
+    EXPECT_EQ(s.cache.misses, 3u);
+    EXPECT_EQ(s.cache.entries, 3u);
+}
+
+TEST(Exec, BatchDeduplicatesAndPreservesOrder)
+{
+    CounterDesign cd;
+    EnginePool pool(cd.d, counterCfg(), ExecConfig{4, 2});
+    std::vector<Query> qs;
+    for (unsigned v = 0; v < 4; v++)
+        qs.push_back(Query{pEq(cd.cnt, v + 3), {}, -1});
+    // Duplicates of the first and third query, plus an unreachable one.
+    qs.push_back(Query{pEq(cd.cnt, 3), {}, -1});
+    qs.push_back(Query{pEq(cd.cnt, 5), {}, -1});
+    qs.push_back(Query{pEq(cd.cnt, 12), {}, -1}); // beyond bound 10
+
+    std::vector<CoverResult> rs = pool.evalBatch(qs);
+    ASSERT_EQ(rs.size(), qs.size());
+    for (unsigned v = 0; v < 4; v++) {
+        ASSERT_EQ(rs[v].outcome, Outcome::Reachable) << v;
+        EXPECT_EQ(rs[v].witness.matchFrame, v + 3);
+    }
+    expectSameResult(rs[0], rs[4], cd.cnt);
+    expectSameResult(rs[2], rs[5], cd.cnt);
+    EXPECT_EQ(rs[6].outcome, Outcome::Unreachable);
+
+    PoolStats s = pool.stats();
+    EXPECT_EQ(s.engine.queries, 5u); // 4 distinct reachable + 1 unreachable
+    EXPECT_EQ(s.cache.hits, 2u);     // the two in-batch duplicates
+}
+
+TEST(Exec, BatchResultsAreJobsInvariant)
+{
+    CounterDesign cd;
+    std::vector<Query> qs;
+    for (unsigned v = 0; v < 10; v++)
+        qs.push_back(Query{pEq(cd.cnt, v), {}, -1});
+
+    EnginePool serial(cd.d, counterCfg(), ExecConfig{1, 4});
+    EnginePool threaded(cd.d, counterCfg(), ExecConfig{4, 4});
+    std::vector<CoverResult> a = serial.evalBatch(qs);
+    std::vector<CoverResult> b = threaded.evalBatch(qs);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i++)
+        expectSameResult(a[i], b[i], cd.cnt);
+    EXPECT_EQ(serial.stats().engine.queries,
+              threaded.stats().engine.queries);
+}
+
+TEST(Exec, BudgetExhaustionYieldsUndeterminedEndToEnd)
+{
+    FactorDesign fd;
+    EngineConfig cfg;
+    cfg.bound = 3;
+    cfg.budget.maxConflicts = 1;
+
+    // Direct engine: the budget-limited cover is Undetermined and tallied.
+    Engine eng(fd.d, cfg);
+    CoverResult direct =
+        eng.cover(pEq(fd.prod, FactorDesign::kSemiprime), {});
+    EXPECT_EQ(direct.outcome, Outcome::Undetermined);
+    EXPECT_EQ(eng.stats().queries, 1u);
+    EXPECT_EQ(eng.stats().undetermined, 1u);
+
+    // Through the pool: same verdict, tallied in the merged EngineStats,
+    // and the memoized verdict replays as a cache hit (the budget is part
+    // of the cache key, so it cannot leak into differently-budgeted runs).
+    EnginePool pool(fd.d, cfg, ExecConfig{2, 2});
+    Query q{pEq(fd.prod, FactorDesign::kSemiprime), {}, -1};
+    CoverResult pooled = pool.eval(q);
+    EXPECT_EQ(pooled.outcome, Outcome::Undetermined);
+    CoverResult cached = pool.eval(q);
+    EXPECT_EQ(cached.outcome, Outcome::Undetermined);
+    PoolStats s = pool.stats();
+    EXPECT_EQ(s.engine.queries, 1u);
+    EXPECT_EQ(s.engine.undetermined, 1u);
+    EXPECT_EQ(s.cache.hits, 1u);
+
+    // A roomier budget is a different key and gets its own evaluation.
+    EngineConfig roomy = cfg;
+    roomy.budget.maxConflicts = 2'000'000;
+    EnginePool pool2(fd.d, roomy, ExecConfig{2, 2});
+    CoverResult solved = pool2.eval(q);
+    EXPECT_EQ(solved.outcome, Outcome::Reachable);
+}
+
+TEST(Exec, ParallelForRunsEveryIndexExactlyOnce)
+{
+    CounterDesign cd;
+    EnginePool pool(cd.d, counterCfg(), ExecConfig{4, 2});
+    std::vector<std::atomic<int>> seen(257);
+    for (auto &s : seen)
+        s = 0;
+    pool.parallelFor(seen.size(), [&](size_t i) { seen[i]++; });
+    for (size_t i = 0; i < seen.size(); i++)
+        EXPECT_EQ(seen[i].load(), 1) << i;
+}

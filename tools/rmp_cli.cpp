@@ -16,6 +16,9 @@
  *   --budget N      per-query SAT conflict budget (default 20000)
  *   --closure       run the full BMC closure queries (slow, formal)
  *   --counts        enumerate revisit cycle counts (§V-B6 mode (i))
+ *   --jobs N        worker threads for property evaluation
+ *                   (default: hardware concurrency; results identical
+ *                   for every value)
  *   --dot DIR       write one Graphviz file per synthesized μPATH
  *   --vcd FILE      write the first μPATH witness as a VCD waveform
  */
@@ -81,6 +84,7 @@ struct CliOptions
     uint64_t budget = 20'000;
     bool closure = false;
     bool counts = false;
+    unsigned jobs = 0; // 0 = hardware_concurrency()
     std::string dotDir;
     std::string vcdFile;
     std::vector<std::string> tx;
@@ -106,6 +110,8 @@ parseOptions(int argc, char **argv, int first)
             o.closure = true;
         else if (a == "--counts")
             o.counts = true;
+        else if (a == "--jobs")
+            o.jobs = static_cast<unsigned>(std::stoul(need("--jobs")));
         else if (a == "--dot")
             o.dotDir = need("--dot");
         else if (a == "--vcd")
@@ -129,6 +135,7 @@ synthConfig(const CliOptions &o)
     c.budget.maxConflicts = o.budget;
     c.closureChecks = o.closure;
     c.revisitCounts = o.counts;
+    c.jobs = o.jobs;
     return c;
 }
 
@@ -176,6 +183,7 @@ cmdLeakage(const std::string &duv, const std::string &instr,
     r2m::MuPathSynthesizer synth(hx, synthConfig(o));
     slc::SynthLcConfig lc;
     lc.budget.maxConflicts = o.budget;
+    lc.jobs = o.jobs;
     slc::SynthLc slc(hx, lc);
     uhb::InstrId p = hx.duv().instrId(instr);
     uhb::InstrPaths r = synth.synthesize(p);
@@ -203,6 +211,7 @@ cmdContracts(const std::string &duv, const CliOptions &o)
     r2m::MuPathSynthesizer synth(hx, synthConfig(o));
     slc::SynthLcConfig lc;
     lc.budget.maxConflicts = o.budget;
+    lc.jobs = o.jobs;
     slc::SynthLc slc(hx, lc);
     std::vector<std::string> names = o.instrs;
     if (names.empty()) {
@@ -216,10 +225,13 @@ cmdContracts(const std::string &duv, const CliOptions &o)
     std::vector<uhb::InstrId> ids;
     for (const auto &n : names)
         ids.push_back(hx.duv().instrId(n));
+    // Cross-IUV parallel synthesis: simulation exploration and the
+    // independent covers of every instruction go through the pool first.
+    auto all = synth.synthesizeAll(ids);
     for (uhb::InstrId i : ids) {
         std::fprintf(stderr, "analyzing %s...\n",
                      hx.duv().instrs[i].name.c_str());
-        auto paths = synth.synthesize(i);
+        auto paths = std::move(all.at(i));
         auto sigs = slc.analyze(i, paths.decisions, ids);
         for (auto &s : sigs)
             db.signatures.push_back(std::move(s));
