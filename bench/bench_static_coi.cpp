@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Static COI pruning — the src/analysis sequential cone-of-influence
+ * engine applied to μPATH synthesis: the same tiny3 workload evaluated
+ * with full-design unrolling and with COI-pruned per-property instances,
+ * checked for bit-identical verdicts and compared on structural cost
+ * (materialized cells, AIG nodes, SAT variables).
+ *
+ * The paper evaluates 124,459 RTL2MμPATH properties at 4.43 minutes each
+ * (§VII-B3) on a commercial proof grid, where per-property cone-of-
+ * influence reduction is part of what the tool's engines do under the
+ * hood. Our BMC engine makes that reduction explicit and measurable:
+ * each cover property unrolls only its sequential support cone
+ * (analysis::backwardCone over the property's signals), and queries
+ * whose cones share a fingerprint share one incremental solver. Pruning
+ * is sound — the cone is backward-closed, so every assignment of the
+ * pruned unrolling extends to the full design — which this bench checks
+ * operationally: verdict tallies and rendered μPATHs must be identical
+ * in both modes, and that identity is the exit code.
+ *
+ * Machine-readable results land in BENCH_static_coi.json.
+ */
+
+#include <chrono>
+
+#include "analysis/coi.hh"
+#include "common/logging.hh"
+#include "bench/bench_util.hh"
+#include "designs/tiny3.hh"
+
+using namespace rmp;
+using namespace rmp::bench;
+using namespace rmp::designs;
+
+namespace
+{
+
+struct RunCost
+{
+    uint64_t props = 0;
+    double wall = 0;
+    uint64_t reach = 0;
+    uint64_t unreach = 0;
+    uint64_t undet = 0;
+    exec::PoolStats pool;
+    /** renderInstrPaths over every instruction, concatenated. */
+    std::string rendered;
+};
+
+RunCost
+runOne(Harness &hx, const std::vector<uhb::InstrId> &ids, bool coiPruning)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    r2m::SynthesisConfig scfg = benchSynthConfig();
+    scfg.jobs = 1; // serial: isolate structural cost from scheduling
+    scfg.coiPruning = coiPruning;
+    r2m::MuPathSynthesizer synth(hx, scfg);
+    auto all = synth.synthesizeAll(ids);
+    auto t1 = std::chrono::steady_clock::now();
+    RunCost c;
+    c.wall = std::chrono::duration<double>(t1 - t0).count();
+    for (const auto &s : synth.stepStats()) {
+        c.props += s.queries;
+        c.reach += s.reachable;
+        c.unreach += s.unreachable;
+        c.undet += s.undetermined;
+    }
+    c.pool = synth.pool().stats();
+    for (uhb::InstrId id : ids)
+        c.rendered += report::renderInstrPaths(hx, all.at(id));
+    return c;
+}
+
+std::string
+coiStatsJson(const bmc::CoiStats &s)
+{
+    JsonReport j;
+    j.put("queries", s.queries);
+    j.put("cone_cells", s.coneCells);
+    j.put("design_cells", s.designCells);
+    j.put("cones_built", s.conesBuilt);
+    j.put("aig_nodes", s.aigNodes);
+    j.put("sat_vars", s.satVars);
+    return j.str();
+}
+
+std::string
+runJson(const RunCost &c)
+{
+    JsonReport j;
+    j.put("properties", c.props);
+    j.put("wall_seconds", c.wall);
+    j.put("reachable", c.reach);
+    j.put("unreachable", c.unreach);
+    j.put("undetermined", c.undet);
+    j.putRaw("coi", coiStatsJson(c.pool.coi));
+    j.putRaw("pool", poolStatsJson(c.pool));
+    return j.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("static COI — cone-of-influence-pruned property evaluation");
+
+    Harness hx(buildTiny3());
+    std::vector<uhb::InstrId> ids;
+    for (uhb::InstrId i = 0; i < hx.duv().instrs.size(); i++)
+        ids.push_back(i);
+    std::printf("DUV tiny3: %zu cells, %zu instructions\n",
+                hx.design().numCells(), ids.size());
+
+    // Static cone summary, before any solving: the per-instruction μPATH
+    // properties observe the commit/PCR signals, so their joint cone is
+    // what the pruned engine will materialize per unrolled frame.
+    {
+        const uhb::DuvInfo &info = hx.duv();
+        std::vector<SigId> roots{info.commit, info.commitPc};
+        analysis::Cone cone = analysis::backwardCone(hx.design(), roots);
+        std::printf("commit-observing cone: %zu of %zu cells "
+                    "(%zu regs, %zu inputs)\n",
+                    cone.cells.size(), hx.design().numCells(),
+                    cone.regs.size(), cone.inputs.size());
+    }
+
+    std::printf("\n-- full unrolling (coiPruning=off), jobs=1\n");
+    RunCost full = runOne(hx, ids, false);
+    std::printf("%zu properties, %.2fs wall\n", (size_t)full.props,
+                full.wall);
+    std::printf("\n-- COI-pruned (coiPruning=on), jobs=1\n");
+    RunCost coi = runOne(hx, ids, true);
+    std::printf("%zu properties, %.2fs wall\n", (size_t)coi.props,
+                coi.wall);
+    std::printf("%s\n", report::renderCoiStats(coi.pool.coi).c_str());
+
+    bool tallies_match = full.props == coi.props &&
+                         full.reach == coi.reach &&
+                         full.unreach == coi.unreach &&
+                         full.undet == coi.undet;
+    bool paths_match = full.rendered == coi.rendered;
+    double cells_full = full.pool.coi.queries
+                            ? (double)full.pool.coi.coneCells /
+                                  full.pool.coi.queries
+                            : 0;
+    double cells_coi = coi.pool.coi.queries
+                           ? (double)coi.pool.coi.coneCells /
+                                 coi.pool.coi.queries
+                           : 0;
+    std::printf("avg materialized cells/query: full %.0f   pruned %.0f   "
+                "(%.1f%% of design)\n",
+                cells_full, cells_coi,
+                cells_full > 0 ? 100.0 * cells_coi / cells_full : 0);
+    std::printf("AIG nodes (all instances):    full %llu   pruned %llu\n",
+                (unsigned long long)full.pool.coi.aigNodes,
+                (unsigned long long)coi.pool.coi.aigNodes);
+    std::printf("SAT variables (all instances): full %llu   pruned %llu\n",
+                (unsigned long long)full.pool.coi.satVars,
+                (unsigned long long)coi.pool.coi.satVars);
+    std::printf("verdict tallies %s, rendered μPATHs %s\n",
+                tallies_match ? "identical" : "MISMATCH",
+                paths_match ? "identical" : "MISMATCH");
+    paperNote("per-property cost dominates the evaluation (4.43 min "
+              "average per RTL2MμPATH property, §VII-B3); engines prune "
+              "each property to its cone of influence",
+              strfmt("explicit COI pruning materializes %.0f of %.0f "
+                     "cells per query with bit-identical verdicts",
+                     cells_coi, cells_full));
+
+    JsonReport out;
+    out.put("bench", std::string("static_coi"));
+    out.put("duv", std::string("tiny3"));
+    out.put("instructions", (uint64_t)ids.size());
+    out.putRaw("full", runJson(full));
+    out.putRaw("coi_pruned", runJson(coi));
+    out.put("avg_cells_per_query_full", cells_full);
+    out.put("avg_cells_per_query_pruned", cells_coi);
+    out.putRaw("tallies_match", tallies_match ? "true" : "false");
+    out.putRaw("paths_match", paths_match ? "true" : "false");
+    const char *path = "BENCH_static_coi.json";
+    if (out.writeFile(path))
+        std::printf("\nwrote %s\n", path);
+    else
+        std::printf("\nFAILED to write %s\n", path);
+    return (tallies_match && paths_match) ? 0 : 1;
+}

@@ -1,0 +1,511 @@
+#include "analysis/lint.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/coi.hh"
+#include "common/logging.hh"
+
+namespace rmp::analysis
+{
+
+const char *
+severityName(Severity s)
+{
+    return s == Severity::Error ? "error" : "warning";
+}
+
+const char *
+ruleName(Rule r)
+{
+    switch (r) {
+      case Rule::CombCycle: return "comb-cycle";
+      case Rule::UndrivenReg: return "undriven";
+      case Rule::DanglingOperand: return "dangling";
+      case Rule::WidthMismatch: return "width-mismatch";
+      case Rule::DuplicateName: return "duplicate-name";
+      case Rule::DeadCell: return "dead-cell";
+      case Rule::NeverReadReg: return "never-read-reg";
+      case Rule::TaintConeGap: return "taint-cone-gap";
+    }
+    return "?";
+}
+
+size_t
+LintReport::errors() const
+{
+    size_t n = 0;
+    for (const auto &di : diags)
+        if (di.severity == Severity::Error)
+            n++;
+    return n;
+}
+
+size_t
+LintReport::warnings() const
+{
+    return diags.size() - errors();
+}
+
+namespace
+{
+
+/** "and 'alu_out' (cell 42)" — best-effort cell label for messages. */
+std::string
+cellLabel(const Design &d, SigId id)
+{
+    if (id >= d.numCells())
+        return strfmt("cell %u (out of range)", id);
+    const Cell &c = d.cell(id);
+    std::string label = opName(c.op);
+    if (!c.name.empty())
+        label += " '" + c.name + "'";
+    return strfmt("%s (cell %u)", label.c_str(), id);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char ch : s) {
+        if (ch == '"' || ch == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(ch) < 0x20) {
+            out += strfmt("\\u%04x", ch);
+            continue;
+        }
+        out += ch;
+    }
+    return out;
+}
+
+/** Expected operand count of an op (Reg handled separately). */
+unsigned
+opArity(Op op)
+{
+    switch (op) {
+      case Op::Input:
+      case Op::Const:
+        return 0;
+      case Op::Not:
+      case Op::RedOr:
+      case Op::RedAnd:
+      case Op::Slice:
+      case Op::Zext:
+      case Op::Reg:
+        return 1;
+      case Op::Mux:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+/** One lint run's working state. */
+struct Linter
+{
+    const Design &d;
+    const LintConfig &cfg;
+    LintReport rep;
+    /** Cells whose operands all resolved; traversals stay inside these. */
+    std::vector<uint8_t> wellFormed;
+
+    void
+    emit(Rule rule, Severity sev, SigId sig, std::string msg)
+    {
+        rep.diags.push_back({rule, sev, sig, std::move(msg)});
+    }
+
+    void checkCells();
+    void checkNames();
+    void checkCycles();
+    void checkLiveness();
+    void checkWidth(SigId id);
+};
+
+void
+Linter::checkCells()
+{
+    wellFormed.assign(d.numCells(), 1);
+    for (SigId id = 0; id < d.numCells(); id++) {
+        const Cell &c = d.cell(id);
+        unsigned arity = opArity(c.op);
+        bool ok = true;
+        for (unsigned i = 0; i < 3; i++) {
+            if (i < arity && c.args[i] == kNoSig) {
+                if (c.op == Op::Reg) {
+                    emit(Rule::UndrivenReg, Severity::Error, id,
+                         cellLabel(d, id) +
+                             " has no next-state connection");
+                } else {
+                    emit(Rule::DanglingOperand, Severity::Error, id,
+                         cellLabel(d, id) +
+                             strfmt(" is missing operand %u", i));
+                }
+                ok = false;
+            } else if (c.args[i] != kNoSig && c.args[i] >= d.numCells()) {
+                emit(Rule::DanglingOperand, Severity::Error, id,
+                     cellLabel(d, id) +
+                         strfmt(" operand %u references cell %u, beyond "
+                                "the %zu-cell design",
+                                i, c.args[i], d.numCells()));
+                ok = false;
+            } else if (i >= arity && c.args[i] != kNoSig) {
+                emit(Rule::DanglingOperand, Severity::Error, id,
+                     cellLabel(d, id) +
+                         strfmt(" has an unexpected operand %u", i));
+                ok = false;
+            }
+        }
+        wellFormed[id] = ok;
+        if (ok)
+            checkWidth(id);
+    }
+}
+
+void
+Linter::checkWidth(SigId id)
+{
+    const Cell &c = d.cell(id);
+    auto bad = [&](const std::string &why) {
+        emit(Rule::WidthMismatch, Severity::Error, id,
+             cellLabel(d, id) + ": " + why);
+    };
+    if (c.width < 1 || c.width > 64) {
+        bad(strfmt("width %u outside 1..64", c.width));
+        return;
+    }
+    auto w = [&](unsigned i) { return d.cell(c.args[i]).width; };
+    switch (c.op) {
+      case Op::Input:
+        break;
+      case Op::Const:
+        if (c.cval.width() != c.width)
+            bad(strfmt("constant value is %u bits, cell is %u",
+                       c.cval.width(), c.width));
+        break;
+      case Op::Not:
+        if (c.width != w(0))
+            bad(strfmt("result %u bits, operand %u", c.width, w(0)));
+        break;
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+        if (w(0) != w(1) || c.width != w(0))
+            bad(strfmt("operands %u and %u bits, result %u", w(0), w(1),
+                       c.width));
+        break;
+      case Op::Shl:
+      case Op::Shr:
+        if (c.width != w(0))
+            bad(strfmt("result %u bits, shifted value %u", c.width, w(0)));
+        break;
+      case Op::RedOr:
+      case Op::RedAnd:
+        if (c.width != 1)
+            bad(strfmt("reduction result is %u bits, not 1", c.width));
+        break;
+      case Op::Eq:
+      case Op::Ult:
+        if (w(0) != w(1))
+            bad(strfmt("compares %u-bit against %u-bit operand", w(0),
+                       w(1)));
+        else if (c.width != 1)
+            bad(strfmt("comparison result is %u bits, not 1", c.width));
+        break;
+      case Op::Mux:
+        if (w(0) != 1)
+            bad(strfmt("select is %u bits, not 1", w(0)));
+        else if (w(1) != w(2) || c.width != w(1))
+            bad(strfmt("arms %u and %u bits, result %u", w(1), w(2),
+                       c.width));
+        break;
+      case Op::Slice:
+        if (c.aux0 + c.width > w(0))
+            bad(strfmt("slice [%u +: %u] out of the %u-bit operand",
+                       c.aux0, c.width, w(0)));
+        break;
+      case Op::Concat:
+        if (c.width != w(0) + w(1))
+            bad(strfmt("concat of %u and %u bits, result %u", w(0), w(1),
+                       c.width));
+        break;
+      case Op::Zext:
+        if (c.width < w(0))
+            bad(strfmt("zext narrows %u bits to %u", w(0), c.width));
+        break;
+      case Op::Reg:
+        if (c.cval.width() != c.width)
+            bad(strfmt("reset value is %u bits, register is %u",
+                       c.cval.width(), c.width));
+        else if (d.cell(c.args[0]).width != c.width)
+            bad(strfmt("next-state signal is %u bits, register is %u",
+                       d.cell(c.args[0]).width, c.width));
+        break;
+    }
+}
+
+void
+Linter::checkNames()
+{
+    std::unordered_map<std::string, SigId> first;
+    for (SigId id = 0; id < d.numCells(); id++) {
+        const Cell &c = d.cell(id);
+        if (c.name.empty())
+            continue;
+        auto [it, fresh] = first.try_emplace(c.name, id);
+        if (!fresh)
+            emit(Rule::DuplicateName, Severity::Error, id,
+                 cellLabel(d, id) + strfmt(" reuses the name of cell %u; "
+                                           "name-based lookup is ambiguous",
+                                           it->second));
+    }
+}
+
+void
+Linter::checkCycles()
+{
+    // Iterative Tarjan SCC over the combinational dependency graph
+    // (comb cell -> comb operand). Any SCC with more than one member, or
+    // a comb self-loop, is a combinational cycle. Registers break paths
+    // by construction (their operand edge is sequential).
+    size_t n = d.numCells();
+    constexpr uint32_t kUndef = ~0u;
+    std::vector<uint32_t> index(n, kUndef), lowlink(n, 0);
+    std::vector<uint8_t> onStack(n, 0);
+    std::vector<SigId> sccStack;
+    uint32_t counter = 0;
+
+    struct Frame
+    {
+        SigId id;
+        unsigned arg = 0;
+    };
+    auto combEdge = [&](SigId from, unsigned i, SigId *to) {
+        const Cell &c = d.cell(from);
+        if (i >= 3 || c.args[i] == kNoSig || !wellFormed[from])
+            return false;
+        SigId a = c.args[i];
+        if (!isCombOp(d.cell(a).op))
+            return false;
+        *to = a;
+        return true;
+    };
+
+    for (SigId root = 0; root < n; root++) {
+        if (index[root] != kUndef || !isCombOp(d.cell(root).op))
+            continue;
+        std::vector<Frame> stack{{root}};
+        index[root] = lowlink[root] = counter++;
+        sccStack.push_back(root);
+        onStack[root] = 1;
+        while (!stack.empty()) {
+            Frame &f = stack.back();
+            SigId to;
+            if (f.arg < 3 && combEdge(f.id, f.arg, &to)) {
+                f.arg++;
+                if (index[to] == kUndef) {
+                    index[to] = lowlink[to] = counter++;
+                    sccStack.push_back(to);
+                    onStack[to] = 1;
+                    stack.push_back({to});
+                } else if (onStack[to]) {
+                    lowlink[f.id] = std::min(lowlink[f.id], index[to]);
+                }
+                continue;
+            }
+            if (f.arg < 3) {
+                f.arg++;
+                continue;
+            }
+            // f.id is finished: pop its SCC if it is a root.
+            SigId id = f.id;
+            stack.pop_back();
+            if (!stack.empty())
+                lowlink[stack.back().id] =
+                    std::min(lowlink[stack.back().id], lowlink[id]);
+            if (lowlink[id] != index[id])
+                continue;
+            std::vector<SigId> scc;
+            for (;;) {
+                SigId m = sccStack.back();
+                sccStack.pop_back();
+                onStack[m] = 0;
+                scc.push_back(m);
+                if (m == id)
+                    break;
+            }
+            bool self_loop = false;
+            if (scc.size() == 1) {
+                const Cell &c = d.cell(id);
+                for (unsigned i = 0; i < 3; i++)
+                    if (c.args[i] == id)
+                        self_loop = true;
+            }
+            if (scc.size() < 2 && !self_loop)
+                continue;
+            std::sort(scc.begin(), scc.end());
+            std::string members;
+            for (size_t i = 0; i < scc.size() && i < 8; i++)
+                members += (i ? ", " : "") + cellLabel(d, scc[i]);
+            if (scc.size() > 8)
+                members += strfmt(", ... (%zu cells)", scc.size());
+            emit(Rule::CombCycle, Severity::Error, scc.front(),
+                 "combinational cycle through " + members);
+        }
+    }
+}
+
+void
+Linter::checkLiveness()
+{
+    std::vector<SigId> roots = cfg.roots;
+    if (roots.empty()) {
+        // Named cells are the observable surface: harness properties,
+        // reports, and VCD consumers address signals (wires and
+        // registers alike) by name.
+        for (SigId id = 0; id < d.numCells(); id++) {
+            const Cell &c = d.cell(id);
+            if (!c.name.empty() && c.op != Op::Input)
+                roots.push_back(id);
+        }
+        // A design with no named wires: fall back to "all state evolves
+        // observably" so the rule degrades to pure dead-code detection.
+        if (roots.empty())
+            for (SigId r : d.registers())
+                if (d.cell(r).args[0] != kNoSig)
+                    roots.push_back(d.cell(r).args[0]);
+    }
+    if (roots.empty())
+        return;
+    Cone live = backwardCone(d, roots);
+    for (SigId id = 0; id < d.numCells(); id++) {
+        if (live.contains(id))
+            continue;
+        const Cell &c = d.cell(id);
+        if (c.op == Op::Reg) {
+            emit(Rule::NeverReadReg, Severity::Warning, id,
+                 cellLabel(d, id) +
+                     " is never read by any observable signal");
+        } else if (isCombOp(c.op) && c.op != Op::Const) {
+            emit(Rule::DeadCell, Severity::Warning, id,
+                 cellLabel(d, id) +
+                     " drives no observable signal or register");
+        }
+    }
+}
+
+} // anonymous namespace
+
+LintReport
+lint(const Design &d, const LintConfig &cfg)
+{
+    Linter l{d, cfg, {}, {}};
+    l.checkCells();
+    l.checkNames();
+    l.checkCycles();
+    // The liveness cone walks operand edges, so it needs a well-formed
+    // graph; structural errors above already explain what is wrong.
+    bool traversable = true;
+    for (uint8_t wf : l.wellFormed)
+        traversable &= wf;
+    if (cfg.checkLiveness && traversable)
+        l.checkLiveness();
+    return std::move(l.rep);
+}
+
+LintReport
+lintIft(const Design &orig, const ift::Instrumented &inst)
+{
+    LintReport rep;
+    const Design &di = *inst.design;
+
+    // Checked roots: every named signal plus every register next-state —
+    // together they determine all observable values and state evolution.
+    std::vector<SigId> roots;
+    for (SigId id = 0; id < orig.numCells(); id++) {
+        const Cell &c = orig.cell(id);
+        if (!c.name.empty() && c.op != Op::Input)
+            roots.push_back(id);
+        if (c.op == Op::Reg && c.args[0] != kNoSig)
+            roots.push_back(c.args[0]);
+    }
+
+    // required[src] = the shadow-plane sources that must appear in any
+    // cone that data-depends on register src.
+    std::unordered_map<SigId, std::vector<SigId>> required;
+    for (SigId o : roots) {
+        if (o >= inst.shadow.size() || inst.shadow[o] == kNoSig) {
+            rep.diags.push_back(
+                {Rule::TaintConeGap, Severity::Error, o,
+                 cellLabel(orig, o) + " has no shadow signal"});
+            continue;
+        }
+        std::vector<SigId> have = di.combFanInSources(inst.shadow[o]);
+        for (SigId src : orig.combFanInSources(o)) {
+            if (orig.cell(src).op != Op::Reg)
+                continue; // inputs are untainted by definition
+            if (src >= inst.shadow.size() || inst.shadow[src] == kNoSig) {
+                rep.diags.push_back(
+                    {Rule::TaintConeGap, Severity::Error, src,
+                     cellLabel(orig, src) + " has no shadow signal"});
+                continue;
+            }
+            auto it = required.find(src);
+            if (it == required.end())
+                it = required
+                         .emplace(src,
+                                  di.combFanInSources(inst.shadow[src]))
+                         .first;
+            if (!std::includes(have.begin(), have.end(),
+                               it->second.begin(), it->second.end())) {
+                rep.diags.push_back(
+                    {Rule::TaintConeGap, Severity::Error, o,
+                     "taint cone of " + cellLabel(orig, o) +
+                         " misses the shadow of data source " +
+                         cellLabel(orig, src)});
+            }
+        }
+    }
+    return rep;
+}
+
+std::string
+LintReport::render(const Design &d) const
+{
+    std::string out;
+    for (const auto &di : diags)
+        out += strfmt("%s[%s] %s\n", severityName(di.severity),
+                      ruleName(di.rule), di.message.c_str());
+    out += strfmt("%s: %zu cells, %zu errors, %zu warnings%s\n",
+                  d.name().c_str(), d.numCells(), errors(), warnings(),
+                  clean() ? " — clean" : "");
+    return out;
+}
+
+std::string
+LintReport::json(const Design &d) const
+{
+    std::string out = "{";
+    out += strfmt("\"design\": \"%s\", \"cells\": %zu, \"errors\": %zu, "
+                  "\"warnings\": %zu, \"diagnostics\": [",
+                  jsonEscape(d.name()).c_str(), d.numCells(), errors(),
+                  warnings());
+    for (size_t i = 0; i < diags.size(); i++) {
+        const Diagnostic &di = diags[i];
+        if (i)
+            out += ", ";
+        out += strfmt("{\"rule\": \"%s\", \"severity\": \"%s\", "
+                      "\"cell\": %lld, \"message\": \"%s\"}",
+                      ruleName(di.rule), severityName(di.severity),
+                      di.sig == kNoSig ? -1LL
+                                       : static_cast<long long>(di.sig),
+                      jsonEscape(di.message).c_str());
+    }
+    return out + "]}";
+}
+
+} // namespace rmp::analysis

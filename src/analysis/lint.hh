@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Netlist lint: structural diagnostics over rtlir::Design.
+ *
+ * The paper's synthesis procedure trusts the elaborated netlist before a
+ * single property is evaluated — candidate performing locations and
+ * HB-edge candidates are derived purely structurally (§V-B), and the
+ * CellIFT-style instrumentation clones the netlist cell by cell. This
+ * pass is the correctness gate for that trust: it re-derives every
+ * structural invariant independently of the construction-time asserts
+ * (Design::validate aborts on first violation; lint never aborts, it
+ * reports), so netlists produced by builders, by instrumentation, or by
+ * future frontends can be checked wholesale.
+ *
+ * Rule catalogue (DESIGN.md §3e):
+ *  - comb-cycle       [error]   combinational SCC (Tarjan) or self-loop
+ *  - undriven         [error]   register with no next-state connection
+ *  - dangling         [error]   operand SigId out of range, or an
+ *                               operand missing where the op requires one
+ *  - width-mismatch   [error]   cell width inconsistent with its
+ *                               operands under the op's width rules
+ *  - duplicate-name   [error]   two cells carrying the same non-empty
+ *                               name (the single-driver IR's analogue of
+ *                               a multiply-driven net: name-based lookup
+ *                               no longer denotes one signal)
+ *  - dead-cell        [warning] comb cell outside every observability
+ *                               root's sequential fan-in cone
+ *  - never-read-reg   [warning] register outside every root's cone
+ *                               (state that no observable signal or
+ *                               live register ever reads)
+ *  - taint-cone-gap   [error]   IFT soundness: an instrumented design
+ *                               whose taint fan-in cone fails to cover
+ *                               the original data fan-in cone (lintIft)
+ */
+
+#ifndef ANALYSIS_LINT_HH
+#define ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "ift/instrument.hh"
+#include "rtlir/design.hh"
+
+namespace rmp::analysis
+{
+
+/** Diagnostic severity. Errors gate CI; warnings inform. */
+enum class Severity : uint8_t { Error, Warning };
+
+/** Lint rule identifiers. */
+enum class Rule : uint8_t
+{
+    CombCycle,
+    UndrivenReg,
+    DanglingOperand,
+    WidthMismatch,
+    DuplicateName,
+    DeadCell,
+    NeverReadReg,
+    TaintConeGap,
+};
+
+const char *severityName(Severity s);
+const char *ruleName(Rule r);
+
+/** One finding. */
+struct Diagnostic
+{
+    Rule rule = Rule::CombCycle;
+    Severity severity = Severity::Error;
+    /** Primary cell the finding anchors to (kNoSig for design-level). */
+    SigId sig = kNoSig;
+    std::string message;
+};
+
+/** Lint configuration. */
+struct LintConfig
+{
+    /**
+     * Observability roots for the liveness rules (dead-cell,
+     * never-read-reg): cells considered externally visible. Empty =
+     * every named non-input cell (names are what harness properties,
+     * reports, and VCD consumers observe, for wires and registers
+     * alike); if a design names nothing, every register next-state
+     * signal is used instead.
+     */
+    std::vector<SigId> roots;
+    /** Run the liveness rules (they need a backward cone fixpoint). */
+    bool checkLiveness = true;
+};
+
+/** The findings of one lint run. */
+struct LintReport
+{
+    std::vector<Diagnostic> diags;
+
+    size_t errors() const;
+    size_t warnings() const;
+    bool clean() const { return errors() == 0; }
+
+    /** Human-readable rendering, one line per finding plus a summary. */
+    std::string render(const Design &d) const;
+    /** Machine-readable rendering (a JSON object). */
+    std::string json(const Design &d) const;
+};
+
+/** Lint @p d. Never aborts, regardless of how broken the netlist is. */
+LintReport lint(const Design &d, const LintConfig &cfg = {});
+
+/**
+ * IFT soundness lint: check that @p inst's taint plane over-approximates
+ * data flow in @p orig. For every checked root (named cells and register
+ * next-states) and every register src in the root's combinational data
+ * fan-in, the shadow of src — including its taint-introduction input, if
+ * any — must lie in the combinational fan-in of the root's shadow.
+ * CellIFT's cell-level rules guarantee this by construction; a gap means
+ * the instrumentation lost a flow and SynthLC's "no taint reaches the
+ * decision" verdicts would be unsound. Primary-input sources are exempt:
+ * inputs carry no taint by definition (their shadows are constant zero).
+ */
+LintReport lintIft(const Design &orig, const ift::Instrumented &inst);
+
+} // namespace rmp::analysis
+
+#endif // ANALYSIS_LINT_HH

@@ -1,5 +1,6 @@
 #include "bmc/engine.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/logging.hh"
@@ -19,19 +20,50 @@ outcomeName(Outcome o)
 }
 
 Engine::Engine(const Design &design, const EngineConfig &config)
-    : d(design), cfg(config), unrolling(design)
+    : d(design), cfg(config)
 {
     rmp_assert(cfg.bound >= 1, "bound must be positive");
-    unrolling.ensureFrames(cfg.bound - 1);
+    if (!cfg.coiPruning) {
+        full_ = std::make_unique<Ctx>(
+            d, std::vector<uint8_t>{},
+            static_cast<uint32_t>(d.numCells()));
+        full_->unrolling.ensureFrames(cfg.bound - 1);
+        coi_.conesBuilt = 1;
+    }
+}
+
+Engine::Ctx &
+Engine::ctxFor(const prop::ExprRef &seq,
+               const std::vector<prop::ExprRef> &assumes)
+{
+    if (!cfg.coiPruning)
+        return *full_;
+    std::vector<SigId> roots;
+    prop::collectSigs(seq, &roots);
+    for (const auto &a : assumes)
+        prop::collectSigs(a, &roots);
+    analysis::Cone cone = analysis::backwardCone(d, roots);
+    auto it = cones_.find(cone.fingerprint);
+    if (it == cones_.end()) {
+        auto ctx = std::make_unique<Ctx>(
+            d, std::move(cone.inCone),
+            static_cast<uint32_t>(cone.size()));
+        ctx->unrolling.ensureFrames(cfg.bound - 1);
+        it = cones_.emplace(cone.fingerprint, std::move(ctx)).first;
+        coi_.conesBuilt++;
+    }
+    return *it->second;
 }
 
 sat::Lit
-Engine::satLit(AigLit lit)
+Engine::satLit(Ctx &ctx, AigLit lit)
 {
     // Iteratively Tseitin-encode the cone under `lit`.
+    sat::Solver &solver = ctx.solver;
+    std::vector<int32_t> &nodeVar = ctx.nodeVar;
     uint32_t root = aigNode(lit);
-    if (nodeVar.size() < unrolling.aig().numNodes())
-        nodeVar.resize(unrolling.aig().numNodes(), -1);
+    if (nodeVar.size() < ctx.unrolling.aig().numNodes())
+        nodeVar.resize(ctx.unrolling.aig().numNodes(), -1);
     std::vector<uint32_t> stack{root};
     while (!stack.empty()) {
         uint32_t n = stack.back();
@@ -47,7 +79,7 @@ Engine::satLit(AigLit lit)
             stack.pop_back();
             continue;
         }
-        const Aig &g = unrolling.aig();
+        const Aig &g = ctx.unrolling.aig();
         if (g.isInput(n)) {
             nodeVar[n] = solver.newVar();
             stack.pop_back();
@@ -117,6 +149,8 @@ Engine::run(const prop::ExprRef &seq,
             const std::vector<prop::ExprRef> &assumes, int fixed_frame)
 {
     auto t0 = std::chrono::steady_clock::now();
+    Ctx &ctx = ctxFor(seq, assumes);
+    Unrolling &unrolling = ctx.unrolling;
     Aig &g = unrolling.aig();
 
     // Cover literal: OR over permitted start frames.
@@ -132,37 +166,37 @@ Engine::run(const prop::ExprRef &seq,
 
     // Assumption literals: each assume holds at every frame.
     std::vector<sat::Lit> assumptions;
+    bool vacuous = false;
     for (const auto &a : assumes) {
         unsigned last = cfg.bound > a->depth() ? cfg.bound - a->depth() : 1;
-        for (unsigned t = 0; t < last; t++) {
+        for (unsigned t = 0; t < last && !vacuous; t++) {
             AigLit l = prop::compile(a, unrolling, t, cfg.bound);
             if (l == kTrue)
                 continue;
             if (l == kFalse) {
                 // Vacuous: assumes are contradictory within the bound.
-                CoverResult res;
-                res.outcome = Outcome::Unreachable;
-                stats_.queries++;
-                stats_.unreachable++;
-                return res;
+                vacuous = true;
+                break;
             }
-            assumptions.push_back(satLit(l));
+            assumptions.push_back(satLit(ctx, l));
         }
+        if (vacuous)
+            break;
     }
 
     CoverResult res;
-    if (cover_lit == kFalse) {
+    if (vacuous || cover_lit == kFalse) {
         res.outcome = Outcome::Unreachable;
     } else {
         // The cover literal goes FIRST: deciding it immediately focuses
         // the search on executions that could match, which speeds both
         // witness discovery and unreachability proofs considerably.
-        assumptions.insert(assumptions.begin(), satLit(cover_lit));
-        sat::SatResult sres = solver.solve(assumptions, cfg.budget);
+        assumptions.insert(assumptions.begin(), satLit(ctx, cover_lit));
+        sat::SatResult sres = ctx.solver.solve(assumptions, cfg.budget);
         switch (sres) {
           case sat::SatResult::Sat:
             res.outcome = Outcome::Reachable;
-            res.witness = extractWitness(seq, assumes);
+            res.witness = extractWitness(ctx, seq, assumes);
             break;
           case sat::SatResult::Unsat:
             res.outcome = Outcome::Unreachable;
@@ -175,8 +209,14 @@ Engine::run(const prop::ExprRef &seq,
 
     auto t1 = std::chrono::steady_clock::now();
     res.seconds = std::chrono::duration<double>(t1 - t0).count();
+    res.coiCells = ctx.cells;
+    res.aigNodes = g.numNodes();
+    res.satVars = static_cast<uint64_t>(ctx.solver.numVars());
     stats_.queries++;
     stats_.totalSeconds += res.seconds;
+    coi_.queries++;
+    coi_.coneCells += ctx.cells;
+    coi_.designCells += d.numCells();
     switch (res.outcome) {
       case Outcome::Reachable: stats_.reachable++; break;
       case Outcome::Unreachable: stats_.unreachable++; break;
@@ -185,8 +225,43 @@ Engine::run(const prop::ExprRef &seq,
     return res;
 }
 
+CoiStats
+Engine::coiStats() const
+{
+    CoiStats s = coi_;
+    auto fold = [&](const Ctx &ctx) {
+        s.aigNodes += ctx.unrolling.aig().numNodes();
+        s.satVars += static_cast<uint64_t>(ctx.solver.numVars());
+    };
+    if (full_)
+        fold(*full_);
+    for (const auto &[fp, ctx] : cones_)
+        fold(*ctx);
+    return s;
+}
+
+sat::SatStats
+Engine::satStats() const
+{
+    sat::SatStats s;
+    auto fold = [&](const Ctx &ctx) {
+        const sat::SatStats &st = ctx.solver.stats();
+        s.conflicts += st.conflicts;
+        s.decisions += st.decisions;
+        s.propagations += st.propagations;
+        s.restarts += st.restarts;
+        s.learnedClauses += st.learnedClauses;
+        s.removedClauses += st.removedClauses;
+    };
+    if (full_)
+        fold(*full_);
+    for (const auto &[fp, ctx] : cones_)
+        fold(*ctx);
+    return s;
+}
+
 Witness
-Engine::extractWitness(const prop::ExprRef &seq,
+Engine::extractWitness(Ctx &ctx, const prop::ExprRef &seq,
                        const std::vector<prop::ExprRef> &assumes)
 {
     Witness w;
@@ -196,11 +271,12 @@ Engine::extractWitness(const prop::ExprRef &seq,
             uint64_t val = 0;
             unsigned width = d.cell(in).width;
             for (unsigned bit = 0; bit < width; bit++) {
-                AigLit l = unrolling.inputLit(t, in, bit);
+                AigLit l = ctx.unrolling.inputLit(t, in, bit);
                 uint32_t n = aigNode(l);
                 bool v = false;
-                if (n < nodeVar.size() && nodeVar[n] >= 0)
-                    v = solver.modelValue(nodeVar[n]) != aigSign(l);
+                if (n < ctx.nodeVar.size() && ctx.nodeVar[n] >= 0)
+                    v = ctx.solver.modelValue(ctx.nodeVar[n]) !=
+                        aigSign(l);
                 if (v)
                     val |= 1ULL << bit;
             }

@@ -15,14 +15,28 @@
  *    instruction within that bound (DESIGN.md §5);
  *  - Undetermined: the per-query SAT budget was exhausted (the paper's
  *    timeout verdict, §VII-B3/B4).
+ *
+ * With EngineConfig::coiPruning the engine unrolls, per query, only the
+ * sequential cone of influence of the property's support signals
+ * (analysis::backwardCone): queries whose cones coincide share one
+ * incremental instance (unrolling + solver + learned clauses), and logic
+ * outside the cone contributes no AIG nodes and no SAT variables. The
+ * restriction is sound — the fixpoint cone is closed under every
+ * dependency the unroller follows — so Reachable/Unreachable verdicts
+ * are identical to full-design unrolling; only budget-exhaustion
+ * (Undetermined) verdicts are instance-relative, which is why the cone
+ * fingerprint participates in exec::QueryCache keys (DESIGN.md §3e).
  */
 
 #ifndef BMC_ENGINE_HH
 #define BMC_ENGINE_HH
 
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "analysis/coi.hh"
 #include "bmc/unroll.hh"
 #include "prop/property.hh"
 #include "sat/solver.hh"
@@ -54,6 +68,18 @@ struct CoverResult
     Witness witness; ///< valid iff outcome == Reachable
     double seconds = 0.0;
 
+    /** @name Instance-size statistics (0 on cache hits)
+     * Size of the unrolled instance that answered this query, after the
+     * query ran: cells materialized (== the COI size under pruning, the
+     * whole design otherwise), AIG nodes, and SAT variables. Shared
+     * incremental instances make these cumulative per instance, not
+     * per query. */
+    /// @{
+    uint32_t coiCells = 0;
+    uint64_t aigNodes = 0;
+    uint64_t satVars = 0;
+    /// @}
+
     bool reachable() const { return outcome == Outcome::Reachable; }
     bool unreachable() const { return outcome == Outcome::Unreachable; }
 };
@@ -67,6 +93,13 @@ struct EngineConfig
     sat::SatBudget budget{};
     /** Replay every witness on the simulator (soundness cross-check). */
     bool validateWitnesses = true;
+    /**
+     * Unroll only each query's sequential cone of influence. Verdicts
+     * match full unrolling exactly except at SAT-budget boundaries
+     * (Undetermined is instance-relative); both modes are individually
+     * deterministic and jobs-invariant.
+     */
+    bool coiPruning = false;
 };
 
 /** Aggregate query statistics (reported by bench_perf_properties). */
@@ -79,11 +112,29 @@ struct EngineStats
     double totalSeconds = 0.0;
 };
 
+/** COI statistics (reported through src/report and BENCH_static_coi). */
+struct CoiStats
+{
+    /** Queries answered (matches EngineStats::queries). */
+    uint64_t queries = 0;
+    /** Sum over queries of the answering instance's cell count. */
+    uint64_t coneCells = 0;
+    /** Sum over queries of the full design's cell count. */
+    uint64_t designCells = 0;
+    /** Distinct unrolled instances (1 when pruning is off). */
+    uint64_t conesBuilt = 0;
+    /** AIG nodes across all live instances. */
+    uint64_t aigNodes = 0;
+    /** SAT variables across all live instances. */
+    uint64_t satVars = 0;
+};
+
 /**
  * Incremental cover/assume evaluator over one design.
  *
- * All queries share the unrolled CNF and the solver's learned clauses;
- * per-query constraints enter as SAT assumptions only.
+ * Queries with the same cone (the whole design when pruning is off)
+ * share an unrolled CNF and that solver's learned clauses; per-query
+ * constraints enter as SAT assumptions only.
  */
 class Engine
 {
@@ -117,30 +168,53 @@ class Engine
                        Witness *cex = nullptr);
 
     const EngineStats &stats() const { return stats_; }
-    /** Underlying solver statistics (merged across lanes by exec). */
-    const sat::SatStats &satStats() const { return solver.stats(); }
+    /** COI statistics (instance sizes; meaningful with pruning too off). */
+    CoiStats coiStats() const;
+    /** Underlying solver statistics, summed across instances. */
+    sat::SatStats satStats() const;
     const Design &design() const { return d; }
     unsigned bound() const { return cfg.bound; }
     const EngineConfig &config() const { return cfg; }
 
   private:
+    /** One unrolled instance: full design, or one support cone. */
+    struct Ctx
+    {
+        Unrolling unrolling;
+        sat::Solver solver;
+        /** AIG node -> SAT var (-1 = not yet encoded). */
+        std::vector<int32_t> nodeVar;
+        /** Cells this instance materializes. */
+        uint32_t cells = 0;
+
+        Ctx(const Design &dd, std::vector<uint8_t> mask, uint32_t n)
+            : unrolling(dd, std::move(mask)), cells(n)
+        {
+        }
+    };
+
     CoverResult run(const prop::ExprRef &seq,
                     const std::vector<prop::ExprRef> &assumes,
                     int fixed_frame);
 
-    /** Tseitin-encode @p lit's cone; returns the SAT literal. */
-    sat::Lit satLit(AigLit lit);
+    /** Instance answering queries over @p seq / @p assumes. */
+    Ctx &ctxFor(const prop::ExprRef &seq,
+                const std::vector<prop::ExprRef> &assumes);
 
-    Witness extractWitness(const prop::ExprRef &seq,
+    /** Tseitin-encode @p lit's cone; returns the SAT literal. */
+    sat::Lit satLit(Ctx &ctx, AigLit lit);
+
+    Witness extractWitness(Ctx &ctx, const prop::ExprRef &seq,
                            const std::vector<prop::ExprRef> &assumes);
 
     const Design &d;
     EngineConfig cfg;
-    Unrolling unrolling;
-    sat::Solver solver;
-    /** AIG node -> SAT var (-1 = not yet encoded). */
-    std::vector<int32_t> nodeVar;
+    /** The full-design instance (absent under COI pruning). */
+    std::unique_ptr<Ctx> full_;
+    /** Cone fingerprint -> instance (COI pruning only). */
+    std::unordered_map<uint64_t, std::unique_ptr<Ctx>> cones_;
     EngineStats stats_;
+    CoiStats coi_;
 };
 
 } // namespace rmp::bmc

@@ -5,8 +5,12 @@
 namespace rmp::bmc
 {
 
-Unrolling::Unrolling(const Design &design) : d(design)
+Unrolling::Unrolling(const Design &design, std::vector<uint8_t> coi_mask)
+    : d(design), mask(std::move(coi_mask))
 {
+    rmp_assert(mask.empty() || mask.size() == d.numCells(),
+               "COI mask covers %zu of %zu cells", mask.size(),
+               d.numCells());
 }
 
 void
@@ -20,6 +24,8 @@ const Word &
 Unrolling::sig(unsigned t, SigId id)
 {
     ensureFrames(t);
+    rmp_assert(!frames[t][id].empty(),
+               "signal %u is outside this unrolling's COI mask", id);
     return frames[t][id];
 }
 
@@ -104,6 +110,8 @@ Unrolling::buildFrame()
         fr[id] = std::move(word);
     }
     for (SigId r : d.registers()) {
+        if (!materializes(r))
+            continue;
         const Cell &c = d.cell(r);
         Word word(c.width);
         if (t == 0) {
@@ -111,12 +119,18 @@ Unrolling::buildFrame()
                 word[bit] = c.cval.bit(bit) ? kTrue : kFalse;
         } else {
             word = frames[t - 1][c.args[0]];
+            rmp_assert(word.size() == c.width,
+                       "COI mask is not backward-closed at register %s",
+                       c.name.c_str());
         }
         fr[r] = std::move(word);
     }
 
-    // Combinational cells in topological order.
+    // Combinational cells in topological order (COI-masked cells are
+    // skipped: nothing inside the cone reads them, by closure).
     for (SigId id : d.topoOrder()) {
+        if (!materializes(id))
+            continue;
         const Cell &c = d.cell(id);
         auto &A = fr[c.args[0] == kNoSig ? id : c.args[0]];
         Word out;

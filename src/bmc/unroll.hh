@@ -29,14 +29,25 @@ using Word = std::vector<AigLit>;
  * frame(t) materializes frames 0..t. sig(t, id) returns the literals of
  * signal @p id during cycle t. inputVar(t, id, bit) exposes the AIG input
  * node index backing an Input cell bit, for witness extraction.
+ *
+ * An optional cone-of-influence mask restricts the unrolling: registers
+ * and combinational cells outside the mask are never bit-blasted, so
+ * their AIG nodes (and downstream SAT variables) are never created. The
+ * mask must be backward-closed — every operand of a member cell is a
+ * member (analysis::backwardCone's fixpoint guarantees this) — or frame
+ * construction panics. Inputs are always materialized (each is one free
+ * AIG node; keeping them uniform keeps witness extraction cone-agnostic).
  */
 class Unrolling
 {
   public:
-    explicit Unrolling(const Design &design);
+    /** @p coi_mask: per-cell membership (empty = unrestricted). */
+    explicit Unrolling(const Design &design,
+                       std::vector<uint8_t> coi_mask = {});
 
     const Design &design() const { return d; }
     Aig &aig() { return g; }
+    const Aig &aig() const { return g; }
 
     /** Ensure frames 0..t exist. */
     void ensureFrames(unsigned t);
@@ -56,10 +67,23 @@ class Unrolling
     /** Equality of a signal with a constant, as one literal. */
     AigLit sigEqConst(unsigned t, SigId id, uint64_t value);
 
+    /** True when a COI mask restricts this unrolling. */
+    bool restricted() const { return !mask.empty(); }
+
+    /** True when cell @p id is materialized by this unrolling. */
+    bool
+    materializes(SigId id) const
+    {
+        return mask.empty() || mask[id] ||
+               d.cell(id).op == Op::Input;
+    }
+
   private:
     void buildFrame();
 
     const Design &d;
+    /** COI membership per cell; empty = all cells. */
+    std::vector<uint8_t> mask;
     Aig g;
     /** frames[t][sigId] = word of literals. */
     std::vector<std::vector<Word>> frames;

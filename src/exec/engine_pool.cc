@@ -4,6 +4,7 @@
 #include <atomic>
 #include <map>
 
+#include "analysis/coi.hh"
 #include "common/logging.hh"
 
 namespace rmp::exec
@@ -102,11 +103,37 @@ EnginePool::runTasks(std::vector<std::function<void()>> tasks)
     cvDone.wait(lock, [this] { return pending == 0; });
 }
 
+uint64_t
+EnginePool::coneFp(const Query &q)
+{
+    if (!engCfg.coiPruning)
+        return 0;
+    std::vector<SigId> roots;
+    prop::collectSigs(q.seq, &roots);
+    for (const auto &a : q.assumes)
+        prop::collectSigs(a, &roots);
+    std::sort(roots.begin(), roots.end());
+    roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+    // FNV-1a over the sorted support set keys the memo; the value is the
+    // cone fingerprint the engine's ctxFor() would compute for it.
+    uint64_t rh = 0xcbf29ce484222325ULL;
+    for (SigId r : roots) {
+        rh ^= static_cast<uint64_t>(r) + 1;
+        rh *= 0x100000001b3ULL;
+    }
+    auto it = coneFps.find(rh);
+    if (it != coneFps.end())
+        return it->second;
+    analysis::Cone cone = analysis::backwardCone(d, roots);
+    coneFps.emplace(rh, cone.fingerprint);
+    return cone.fingerprint;
+}
+
 bmc::CoverResult
 EnginePool::eval(const Query &q)
 {
     QueryKey key = makeQueryKey(designFp, engCfg, q.seq, q.assumes,
-                                q.fixedFrame);
+                                q.fixedFrame, coneFp(q));
     CachedResult hit;
     if (cache_.get(key, &hit))
         return expandResult(hit, d);
@@ -124,7 +151,8 @@ EnginePool::evalBatch(const std::vector<Query> &qs)
     std::map<std::pair<uint64_t, uint64_t>, size_t> firstUnit;
     for (size_t i = 0; i < qs.size(); i++) {
         QueryKey key = makeQueryKey(designFp, engCfg, qs[i].seq,
-                                    qs[i].assumes, qs[i].fixedFrame);
+                                    qs[i].assumes, qs[i].fixedFrame,
+                                    coneFp(qs[i]));
         CachedResult hit;
         if (cache_.get(key, &hit)) {
             results[i] = expandResult(hit, d);
@@ -206,13 +234,20 @@ EnginePool::stats() const
         s.engine.unreachable += e.unreachable;
         s.engine.undetermined += e.undetermined;
         s.engine.totalSeconds += e.totalSeconds;
-        const sat::SatStats &st = l.eng->satStats();
+        const sat::SatStats st = l.eng->satStats();
         s.sat.conflicts += st.conflicts;
         s.sat.decisions += st.decisions;
         s.sat.propagations += st.propagations;
         s.sat.restarts += st.restarts;
         s.sat.learnedClauses += st.learnedClauses;
         s.sat.removedClauses += st.removedClauses;
+        const bmc::CoiStats ci = l.eng->coiStats();
+        s.coi.queries += ci.queries;
+        s.coi.coneCells += ci.coneCells;
+        s.coi.designCells += ci.designCells;
+        s.coi.conesBuilt += ci.conesBuilt;
+        s.coi.aigNodes += ci.aigNodes;
+        s.coi.satVars += ci.satVars;
     }
     s.cache = cache_.stats();
     return s;

@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bmc/engine.hh"
@@ -71,6 +72,8 @@ struct PoolStats
     bmc::EngineStats engine;
     /** SAT solver stats merged across lanes. */
     sat::SatStats sat;
+    /** COI / instance-size stats merged across lanes. */
+    bmc::CoiStats coi;
     /** Query-cache counters (hits never touch a lane). */
     CacheStats cache;
     /** Lanes whose engine was actually constructed. */
@@ -144,6 +147,14 @@ class EnginePool
     void runTasks(std::vector<std::function<void()>> tasks);
     void workerLoop();
 
+    /**
+     * Fingerprint of @p q's sequential support cone, for cache keying
+     * under COI pruning (0 when pruning is off). Memoized per support
+     * set; called only from the submitting thread, like all cache
+     * decisions, so the memo needs no lock.
+     */
+    uint64_t coneFp(const Query &q);
+
     const Design &d;
     bmc::EngineConfig engCfg;
     uint64_t designFp;
@@ -152,6 +163,8 @@ class EnginePool
     /** Round-robin lane cursor; advanced once per cache-missed query. */
     uint64_t nextLane = 0;
     QueryCache cache_;
+    /** Support-set hash -> cone fingerprint (COI pruning only). */
+    std::unordered_map<uint64_t, uint64_t> coneFps;
 
     /** @name Worker machinery (only active when jobs > 1) */
     /// @{

@@ -21,7 +21,7 @@ mix64(uint64_t x)
 uint64_t
 keyWord(uint64_t seed, uint64_t design_fp, const bmc::EngineConfig &cfg,
         const prop::ExprRef &seq, const std::vector<prop::ExprRef> &assumes,
-        int fixed_frame)
+        int fixed_frame, uint64_t coi_fp)
 {
     uint64_t h = mix64(seed ^ design_fp);
     h = mix64(h ^ cfg.bound);
@@ -29,6 +29,7 @@ keyWord(uint64_t seed, uint64_t design_fp, const bmc::EngineConfig &cfg,
     h = mix64(h ^ cfg.budget.maxPropagations);
     h = mix64(h ^ static_cast<uint64_t>(cfg.validateWitnesses));
     h = mix64(h ^ static_cast<uint64_t>(static_cast<int64_t>(fixed_frame)));
+    h = mix64(h ^ coi_fp);
     h = mix64(h ^ prop::exprHash(seq, seed));
     // Assumes form a conjunction: order must not change the key.
     std::vector<uint64_t> ah;
@@ -46,13 +47,14 @@ keyWord(uint64_t seed, uint64_t design_fp, const bmc::EngineConfig &cfg,
 QueryKey
 makeQueryKey(uint64_t design_fp, const bmc::EngineConfig &cfg,
              const prop::ExprRef &seq,
-             const std::vector<prop::ExprRef> &assumes, int fixed_frame)
+             const std::vector<prop::ExprRef> &assumes, int fixed_frame,
+             uint64_t coi_fp)
 {
     QueryKey k;
     k.lo = keyWord(0x517cc1b727220a95ULL, design_fp, cfg, seq, assumes,
-                   fixed_frame);
+                   fixed_frame, coi_fp);
     k.hi = keyWord(0x2545f4914f6cdd1dULL, design_fp, cfg, seq, assumes,
-                   fixed_frame);
+                   fixed_frame, coi_fp);
     return k;
 }
 

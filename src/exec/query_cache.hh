@@ -15,7 +15,11 @@
  * (budgets decide Undetermined outcomes), the structural hash of the
  * cover sequence DAG, the multiset of assume hashes (conjunction is
  * order-insensitive, so the per-assume hashes are sorted before mixing),
- * and the fixed start frame. A cached Reachable witness was
+ * the fixed start frame, and — under COI pruning — the fingerprint of
+ * the sequential cone the query is answered over (Undetermined verdicts
+ * are instance-relative: the same budget exhausts differently on a
+ * pruned instance than on the full design, so results from the two
+ * instance shapes must never alias). A cached Reachable witness was
  * simulator-replayed when first computed and stays valid because the
  * design is immutable.
  */
@@ -56,12 +60,15 @@ struct QueryKeyHash
  *
  * @p design_fp is the structural fingerprint of the design the engine
  * unrolls (designFingerprint()); @p fixed_frame is -1 for any-frame
- * covers, matching bmc::Engine::cover vs coverAt.
+ * covers, matching bmc::Engine::cover vs coverAt. @p coi_fp is the
+ * fingerprint of the query's sequential support cone
+ * (analysis::Cone::fingerprint) when EngineConfig::coiPruning routes the
+ * query to a cone-restricted instance, 0 otherwise.
  */
 QueryKey makeQueryKey(uint64_t design_fp, const bmc::EngineConfig &cfg,
                       const prop::ExprRef &seq,
                       const std::vector<prop::ExprRef> &assumes,
-                      int fixed_frame);
+                      int fixed_frame, uint64_t coi_fp = 0);
 
 /** Structural fingerprint of a Design (cells, widths, connectivity). */
 uint64_t designFingerprint(const Design &d);

@@ -83,6 +83,14 @@ ExprRef pDelay(ExprRef a, unsigned delay, ExprRef b);
 uint64_t exprHash(const ExprRef &e, uint64_t seed = 0);
 
 /**
+ * Append the distinct signals referenced by @p e to @p out (shared
+ * subtrees visited once; duplicates across calls are the caller's to
+ * fold). This is the support set a COI-pruned BMC run grows its cone
+ * from (analysis::backwardCone).
+ */
+void collectSigs(const ExprRef &e, std::vector<SigId> *out);
+
+/**
  * Compile @p e as observed starting at frame @p start.
  * Frames beyond the unrolling bound make the expression FALSE (a bounded
  * semantics; the engine accounts for this when deciding outcomes).

@@ -35,6 +35,14 @@ std::string renderTableII(const designs::Harness &hx);
 std::string renderStepStats(const std::vector<r2m::StepStats> &steps,
                             const slc::SynthLcStats *synthlc = nullptr);
 
+/**
+ * Render cone-of-influence statistics for one engine-pool run: how much
+ * of the design the average query actually unrolled, how many distinct
+ * cone instances were built, and the AIG/SAT instance sizes
+ * (bmc::Engine::coiStats, merged across lanes by exec::EnginePool).
+ */
+std::string renderCoiStats(const bmc::CoiStats &coi);
+
 /** Render all μPATHs of one instruction with figure-style headers. */
 std::string renderInstrPaths(const designs::Harness &hx,
                              const uhb::InstrPaths &paths);

@@ -47,7 +47,7 @@ MuPathSynthesizer::MuPathSynthesizer(const designs::Harness &harness,
     : hx(harness), cfg(config),
       pool_(harness.design(),
             bmc::EngineConfig{harness.duv().completenessBound, config.budget,
-                              true},
+                              true, config.coiPruning},
             exec::ExecConfig{config.jobs, config.lanes}),
       base(harness.baseAssumes())
 {

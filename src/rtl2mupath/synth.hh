@@ -91,6 +91,13 @@ struct SynthesisConfig
     /** Engine lanes (0 = exec::EnginePool::kDefaultLanes). Fixed
      *  independently of jobs to keep verdicts jobs-invariant. */
     unsigned lanes = 0;
+    /**
+     * Unroll only each query's sequential cone of influence
+     * (analysis::backwardCone) instead of the whole design.
+     * Reachable/Unreachable verdicts are unchanged; BENCH_static_coi
+     * measures the AIG/SAT-variable reduction.
+     */
+    bool coiPruning = false;
 };
 
 /** Statistics for one pipeline step (drives bench_perf_properties). */

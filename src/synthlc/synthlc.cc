@@ -73,7 +73,7 @@ SynthLc::SynthLc(const designs::Harness &harness, const SynthLcConfig &config)
       pool_(*inst.design,
             bmc::EngineConfig{config.bound ? config.bound
                                            : hx.duv().completenessBound,
-                              config.budget, true},
+                              config.budget, true, config.coiPruning},
             exec::ExecConfig{config.jobs, config.lanes}),
       base(hx.baseAssumes())
 {

@@ -133,6 +133,9 @@ struct SynthLcConfig
     unsigned jobs = 0;
     /** Engine lanes (0 = exec::EnginePool::kDefaultLanes). */
     unsigned lanes = 0;
+    /** Unroll only each query's sequential cone of influence (see
+     *  r2m::SynthesisConfig::coiPruning). */
+    bool coiPruning = false;
 };
 
 /** Aggregate statistics for §VII-B3 reporting. */

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "rtlir/builder.hh"
 #include "sim/simulator.hh"
 
@@ -244,6 +246,90 @@ TEST(Rtlir, CombFanInSources)
     auto srcs_a = d.combFanInSources(a.id);
     ASSERT_EQ(srcs_a.size(), 1u);
     EXPECT_EQ(srcs_a[0], a.id);
+}
+
+TEST(Rtlir, CombFanInSourcesThroughMemoryPorts)
+{
+    // A mux-tree read port's cone contains every memory word plus the
+    // address; a write port contributes nothing to the read data's cone.
+    Design d("memfan");
+    Builder b(d);
+    Sig we = b.input("we", 1);
+    Sig waddr = b.input("waddr", 2);
+    Sig wdata = b.input("wdata", 8);
+    Sig raddr = b.input("raddr", 2);
+    MemArray m = b.mem("m", 4, 8);
+    Sig rdata = b.named("rdata", b.memRead(m, raddr));
+    b.memWrite(m, we, waddr, wdata);
+    b.finalize();
+
+    auto srcs = d.combFanInSources(rdata.id);
+    EXPECT_TRUE(std::binary_search(srcs.begin(), srcs.end(), raddr.id));
+    for (const RegSig &w : m.words)
+        EXPECT_TRUE(std::binary_search(srcs.begin(), srcs.end(), w.q.id))
+            << "memory word missing from read cone";
+    // The write-port inputs are sequential-only influences.
+    EXPECT_FALSE(std::binary_search(srcs.begin(), srcs.end(), we.id));
+    EXPECT_FALSE(std::binary_search(srcs.begin(), srcs.end(), wdata.id));
+    EXPECT_FALSE(std::binary_search(srcs.begin(), srcs.end(), waddr.id));
+    EXPECT_EQ(srcs.size(), m.words.size() + 1);
+
+    // ...but they do reach the words' next-state signals.
+    auto next0 = d.combFanInSources(d.cell(m.words[0].q.id).args[0]);
+    EXPECT_TRUE(std::binary_search(next0.begin(), next0.end(), we.id));
+    EXPECT_TRUE(std::binary_search(next0.begin(), next0.end(), wdata.id));
+}
+
+TEST(Rtlir, CombFanInSourcesConstantOnlyCone)
+{
+    // A cone made only of constants has no sources at all.
+    Design d("constfan");
+    Builder b(d);
+    Sig k = b.named("k", b.lit(8, 3) + b.lit(8, 4));
+    b.input("unused", 1);
+    b.finalize();
+    auto srcs = d.combFanInSources(k.id);
+    EXPECT_TRUE(srcs.empty());
+}
+
+TEST(Rtlir, CombFanInSourcesMultiRootDedup)
+{
+    // The multi-root overload de-duplicates sources shared between
+    // roots and equals the union of the per-root cones.
+    Design d("multiroot");
+    Builder b(d);
+    Sig a = b.input("a", 4);
+    Sig x = b.input("x", 4);
+    Sig y = b.input("y", 4);
+    Sig s1 = b.named("s1", a + x);
+    Sig s2 = b.named("s2", a + y);
+    b.finalize();
+    auto both = d.combFanInSources({s1.id, s2.id});
+    EXPECT_EQ(both, (std::vector<SigId>{a.id, x.id, y.id}));
+    // Duplicate roots collapse too.
+    auto dup = d.combFanInSources({s1.id, s1.id, s1.id});
+    EXPECT_EQ(dup, (std::vector<SigId>{a.id, x.id}));
+    // A register root reports itself exactly once.
+    auto empty = d.combFanInSources(std::vector<SigId>{});
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(Rtlir, CombFanInSourcesSelfLoopRegister)
+{
+    // r <- r + 1: the register feeds its own next-state. The cone of r
+    // is just {r}; the cone of r's next-state stops at r, not looping.
+    Design d("selffan");
+    Builder b(d);
+    RegSig r = b.regh("r", 8);
+    b.assign(r, r.q + b.lit(8, 1));
+    Sig obs = b.named("obs", r.q == b.lit(8, 5));
+    b.finalize();
+    auto at_reg = d.combFanInSources(r.q.id);
+    EXPECT_EQ(at_reg, (std::vector<SigId>{r.q.id}));
+    auto at_next = d.combFanInSources(d.cell(r.q.id).args[0]);
+    EXPECT_EQ(at_next, (std::vector<SigId>{r.q.id}));
+    auto at_obs = d.combFanInSources(obs.id);
+    EXPECT_EQ(at_obs, (std::vector<SigId>{r.q.id}));
 }
 
 TEST(Rtlir, StatsCountCells)

@@ -8,6 +8,7 @@
  *   rmp leakage  <duv> <instr> [--tx A,B,...] [options]
  *   rmp contracts <duv> [--instrs A,B,...] [options]
  *   rmp bugs     <duv>           (DUV PL reachability summary)
+ *   rmp lint     <duv>|all [--json]   (netlist + IFT soundness lint)
  *
  * DUVs: tiny3, tiny3-zs, mcva, mcva-mul, mcva-op, mcva-fixed,
  *       mcva-scbbug, dcache.
@@ -19,6 +20,9 @@
  *   --jobs N        worker threads for property evaluation
  *                   (default: hardware concurrency; results identical
  *                   for every value)
+ *   --coi           unroll only each query's sequential cone of
+ *                   influence (verdicts unchanged; prints COI stats)
+ *   --json          machine-readable lint output
  *   --dot DIR       write one Graphviz file per synthesized μPATH
  *   --vcd FILE      write the first μPATH witness as a VCD waveform
  */
@@ -28,6 +32,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/lint.hh"
 #include "contracts/contracts.hh"
 #include "designs/dcache.hh"
 #include "designs/mcva.hh"
@@ -84,6 +89,8 @@ struct CliOptions
     uint64_t budget = 20'000;
     bool closure = false;
     bool counts = false;
+    bool coi = false;
+    bool json = false;
     unsigned jobs = 0; // 0 = hardware_concurrency()
     std::string dotDir;
     std::string vcdFile;
@@ -110,6 +117,10 @@ parseOptions(int argc, char **argv, int first)
             o.closure = true;
         else if (a == "--counts")
             o.counts = true;
+        else if (a == "--coi")
+            o.coi = true;
+        else if (a == "--json")
+            o.json = true;
         else if (a == "--jobs")
             o.jobs = static_cast<unsigned>(std::stoul(need("--jobs")));
         else if (a == "--dot")
@@ -136,6 +147,7 @@ synthConfig(const CliOptions &o)
     c.closureChecks = o.closure;
     c.revisitCounts = o.counts;
     c.jobs = o.jobs;
+    c.coiPruning = o.coi;
     return c;
 }
 
@@ -172,6 +184,10 @@ cmdUpaths(const std::string &duv, const std::string &instr,
     }
     std::printf("\n%s",
                 report::renderStepStats(synth.stepStats()).c_str());
+    if (o.coi)
+        std::printf("\nCone-of-influence statistics:\n%s",
+                    report::renderCoiStats(synth.pool().stats().coi)
+                        .c_str());
     return 0;
 }
 
@@ -259,6 +275,50 @@ cmdBugs(const std::string &duv, const CliOptions &o)
     return 0;
 }
 
+int
+cmdLint(const std::string &duv, const CliOptions &o)
+{
+    std::vector<std::string> names;
+    if (duv == "all")
+        names = {"tiny3",      "tiny3-zs",  "mcva",        "mcva-mul",
+                 "mcva-op",    "mcva-fixed", "mcva-scbbug", "dcache"};
+    else
+        names.push_back(duv);
+    size_t errors = 0;
+    if (o.json)
+        std::printf("[");
+    for (size_t i = 0; i < names.size(); i++) {
+        Harness hx(buildByName(names[i]));
+        analysis::LintReport rep = analysis::lint(hx.design());
+        // IFT soundness lint over the same instrumentation SynthLC uses.
+        const uhb::DuvInfo &info = hx.duv();
+        if (info.rs1Reg != kNoSig && info.rs2Reg != kNoSig) {
+            ift::IftConfig icfg;
+            icfg.taintSources = {info.rs1Reg, info.rs2Reg};
+            icfg.blockRegs = info.arfRegs;
+            icfg.blockRegs.insert(icfg.blockRegs.end(),
+                                  info.amemRegs.begin(),
+                                  info.amemRegs.end());
+            icfg.persistentRegs = info.persistentRegs;
+            icfg.txmGone = hx.txmGone;
+            ift::Instrumented inst = ift::instrument(hx.design(), icfg);
+            analysis::LintReport irep = analysis::lintIft(hx.design(), inst);
+            rep.diags.insert(rep.diags.end(), irep.diags.begin(),
+                             irep.diags.end());
+        }
+        errors += rep.errors();
+        if (o.json)
+            std::printf("%s%s", i ? ",\n " : "",
+                        rep.json(hx.design()).c_str());
+        else
+            std::printf("%s%s", i ? "\n" : "",
+                        rep.render(hx.design()).c_str());
+    }
+    if (o.json)
+        std::printf("]\n");
+    return errors ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -266,7 +326,7 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr, "usage: rmp "
-                             "list|upaths|leakage|contracts|bugs ...\n");
+                             "list|upaths|leakage|contracts|bugs|lint ...\n");
         return 1;
     }
     std::string cmd = argv[1];
@@ -283,6 +343,8 @@ main(int argc, char **argv)
         return cmdContracts(argv[2], parseOptions(argc, argv, 3));
     if (cmd == "bugs" && argc >= 3)
         return cmdBugs(argv[2], parseOptions(argc, argv, 3));
+    if (cmd == "lint" && argc >= 3)
+        return cmdLint(argv[2], parseOptions(argc, argv, 3));
     std::fprintf(stderr, "bad command line; see the header comment\n");
     return 1;
 }
