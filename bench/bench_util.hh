@@ -11,22 +11,27 @@
 #ifndef BENCH_BENCH_UTIL_HH
 #define BENCH_BENCH_UTIL_HH
 
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "contracts/contracts.hh"
 #include "designs/harness.hh"
+#include "report/json.hh"
 #include "report/report.hh"
 #include "rtl2mupath/synth.hh"
 #include "synthlc/synthlc.hh"
 
 namespace rmp::bench
 {
+
+// The JSON machinery used to live here; it moved to report/json.hh so the
+// CLI's --stats --json summaries share the exact BENCH_*.json schema. The
+// aliases keep every bench source compiling unchanged.
+using report::JsonReport;
+using report::jsonEscape;
+using report::poolStatsJson;
 
 /** True when RMP_BENCH_FULL=1 requests complete (slow) runs. */
 inline bool
@@ -74,112 +79,6 @@ benchLcConfig()
     c.simRuns = fullMode() ? 300 : 110;
     c.jobs = benchJobs();
     return c;
-}
-
-/** Escape a string for embedding in a JSON document. */
-inline std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/**
- * Minimal insertion-ordered JSON object builder for machine-readable
- * bench result files (BENCH_*.json). Nest objects with putRaw(child
- * JsonReport::str()).
- */
-class JsonReport
-{
-  public:
-    void
-    put(const std::string &key, uint64_t v)
-    {
-        kv.emplace_back(key, std::to_string(v));
-    }
-    void
-    put(const std::string &key, double v)
-    {
-        if (!std::isfinite(v)) // JSON has no NaN/Inf
-            v = 0.0;
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.6g", v);
-        kv.emplace_back(key, buf);
-    }
-    void
-    put(const std::string &key, const std::string &v)
-    {
-        kv.emplace_back(key, "\"" + jsonEscape(v) + "\"");
-    }
-    /** Insert a pre-rendered JSON value (nested object/array). */
-    void
-    putRaw(const std::string &key, const std::string &json)
-    {
-        kv.emplace_back(key, json);
-    }
-
-    std::string
-    str() const
-    {
-        std::string out = "{";
-        for (size_t i = 0; i < kv.size(); i++) {
-            if (i)
-                out += ", ";
-            out += "\"" + jsonEscape(kv[i].first) + "\": " + kv[i].second;
-        }
-        return out + "}";
-    }
-
-    bool
-    writeFile(const std::string &path) const
-    {
-        std::ofstream f(path);
-        if (!f)
-            return false;
-        f << str() << "\n";
-        return static_cast<bool>(f);
-    }
-
-  private:
-    std::vector<std::pair<std::string, std::string>> kv;
-};
-
-/** Render an engine pool's aggregate statistics as a JSON object. */
-inline std::string
-poolStatsJson(const exec::PoolStats &s)
-{
-    JsonReport j;
-    j.put("solver_queries", s.engine.queries);
-    j.put("reachable", s.engine.reachable);
-    j.put("unreachable", s.engine.unreachable);
-    j.put("undetermined", s.engine.undetermined);
-    j.put("solver_seconds", s.engine.totalSeconds);
-    j.put("cache_hits", s.cache.hits);
-    j.put("cache_misses", s.cache.misses);
-    j.put("cache_entries", s.cache.entries);
-    j.put("lanes_built", static_cast<uint64_t>(s.lanesBuilt));
-    j.put("sat_conflicts", s.sat.conflicts);
-    j.put("sat_decisions", s.sat.decisions);
-    j.put("sat_propagations", s.sat.propagations);
-    j.put("sat_learned_clauses", s.sat.learnedClauses);
-    return j.str();
 }
 
 /** Print a section banner. */

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace rmp::bmc
 {
@@ -148,6 +150,7 @@ CoverResult
 Engine::run(const prop::ExprRef &seq,
             const std::vector<prop::ExprRef> &assumes, int fixed_frame)
 {
+    obs::Span span("bmc-cover", "bmc");
     auto t0 = std::chrono::steady_clock::now();
     Ctx &ctx = ctxFor(seq, assumes);
     Unrolling &unrolling = ctx.unrolling;
@@ -222,6 +225,24 @@ Engine::run(const prop::ExprRef &seq,
       case Outcome::Unreachable: stats_.unreachable++; break;
       case Outcome::Undetermined: stats_.undetermined++; break;
     }
+    if (span.active()) {
+        span.arg("outcome", static_cast<uint64_t>(res.outcome));
+        span.arg("coi_cells", res.coiCells);
+        span.arg("aig_nodes", res.aigNodes);
+        span.arg("sat_vars", res.satVars);
+        span.arg("cnf_clauses", ctx.solver.numClauses());
+        obs::Registry &reg = obs::Registry::global();
+        reg.counter("bmc.queries",
+                    {{"outcome", outcomeName(res.outcome)}})
+            .add(1);
+        reg.histogram("bmc.query_ns")
+            .record(static_cast<uint64_t>(res.seconds * 1e9));
+        reg.histogram("bmc.coi.cone_cells").record(res.coiCells);
+        reg.gauge("bmc.aig_nodes").set(static_cast<int64_t>(res.aigNodes));
+        reg.gauge("bmc.cnf_clauses")
+            .set(static_cast<int64_t>(ctx.solver.numClauses()));
+        reg.gauge("bmc.sat_vars").set(static_cast<int64_t>(res.satVars));
+    }
     return res;
 }
 
@@ -264,6 +285,12 @@ Witness
 Engine::extractWitness(Ctx &ctx, const prop::ExprRef &seq,
                        const std::vector<prop::ExprRef> &assumes)
 {
+    obs::Span span("witness-extract", "bmc");
+    if (span.active()) {
+        span.arg("bound", cfg.bound);
+        span.arg("validated", cfg.validateWitnesses);
+        obs::Registry::global().counter("bmc.witnesses").add(1);
+    }
     Witness w;
     w.inputs.resize(cfg.bound);
     for (unsigned t = 0; t < cfg.bound; t++) {

@@ -1,6 +1,8 @@
 #include "bmc/unroll.hh"
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace rmp::bmc
 {
@@ -16,8 +18,22 @@ Unrolling::Unrolling(const Design &design, std::vector<uint8_t> coi_mask)
 void
 Unrolling::ensureFrames(unsigned t)
 {
-    while (frames.size() <= t)
+    while (frames.size() <= t) {
+        if (!obs::enabled()) {
+            buildFrame();
+            continue;
+        }
+        obs::Span span("bmc-unroll", "bmc");
+        uint64_t nodes0 = g.numNodes();
+        uint64_t t0 = obs::nowNs();
         buildFrame();
+        span.arg("frame", frames.size() - 1);
+        span.arg("aig_nodes_added", g.numNodes() - nodes0);
+        obs::Registry &reg = obs::Registry::global();
+        reg.histogram("bmc.unroll.frame_ns").record(obs::nowNs() - t0);
+        reg.counter("bmc.unroll.frames").add(1);
+        reg.counter("bmc.unroll.aig_nodes").add(g.numNodes() - nodes0);
+    }
 }
 
 const Word &

@@ -6,6 +6,8 @@
 
 #include "analysis/coi.hh"
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace rmp::exec
 {
@@ -50,8 +52,34 @@ EnginePool::laneEngine(unsigned lane)
 }
 
 bmc::CoverResult
-EnginePool::runOnLane(unsigned lane, const Query &q, const QueryKey &key)
+EnginePool::runOnLane(unsigned lane, const Query &q, const QueryKey &key,
+                      uint64_t submit_ns)
 {
+    if (!obs::enabled()) {
+        bmc::Engine &eng = laneEngine(lane);
+        bmc::CoverResult r =
+            q.fixedFrame >= 0
+                ? eng.coverAt(q.seq, q.assumes,
+                              static_cast<unsigned>(q.fixedFrame))
+                : eng.cover(q.seq, q.assumes);
+        cache_.put(key, r);
+        return r;
+    }
+    // Route everything this query records — the lane span and the nested
+    // bmc/sat spans — onto the lane's own track, so the exported trace
+    // shows one swim-lane per engine lane irrespective of which worker
+    // thread drained it (the paper's proof-grid picture).
+    obs::ScopedTrack track(static_cast<int32_t>(lane));
+    obs::setTrackName(static_cast<int32_t>(lane),
+                      "lane-" + std::to_string(lane));
+    obs::Span span("pool-lane", "exec");
+    span.arg("lane", lane);
+    uint64_t start = obs::nowNs();
+    obs::Registry &reg = obs::Registry::global();
+    if (submit_ns) {
+        span.arg("queue_wait_ns", start - submit_ns);
+        reg.histogram("exec.queue_wait_ns").record(start - submit_ns);
+    }
     bmc::Engine &eng = laneEngine(lane);
     bmc::CoverResult r =
         q.fixedFrame >= 0
@@ -59,6 +87,11 @@ EnginePool::runOnLane(unsigned lane, const Query &q, const QueryKey &key)
                           static_cast<unsigned>(q.fixedFrame))
             : eng.cover(q.seq, q.assumes);
     cache_.put(key, r);
+    span.arg("outcome", static_cast<uint64_t>(r.outcome));
+    obs::Labels lane_label{{"lane", std::to_string(lane)}};
+    reg.counter("exec.lane_tasks", lane_label).add(1);
+    reg.counter("exec.lane_busy_ns", lane_label)
+        .add(obs::nowNs() - start);
     return r;
 }
 
@@ -144,6 +177,8 @@ EnginePool::eval(const Query &q)
 std::vector<bmc::CoverResult>
 EnginePool::evalBatch(const std::vector<Query> &qs)
 {
+    obs::Span span("pool-batch", "exec");
+    span.arg("queries", qs.size());
     std::vector<bmc::CoverResult> results(qs.size());
     // Serial pass on the submitting thread: cache decisions and lane
     // assignment happen in deterministic submission order.
@@ -172,17 +207,21 @@ EnginePool::evalBatch(const std::vector<Query> &qs)
         units.push_back(std::move(u));
     }
 
+    span.arg("solver_units", units.size());
+
     // Group units by lane, preserving submission order within a lane.
     std::vector<std::vector<Unit *>> perLane(lanes_.size());
     for (Unit &u : units)
         perLane[u.lane].push_back(&u);
     std::vector<std::function<void()>> tasks;
+    uint64_t submit_ns = span.active() ? obs::nowNs() : 0;
     for (auto &lane_units : perLane) {
         if (lane_units.empty())
             continue;
-        tasks.push_back([this, &results, lane_units] {
+        tasks.push_back([this, &results, lane_units, submit_ns] {
             for (Unit *u : lane_units)
-                results[u->primary] = runOnLane(u->lane, *u->q, u->key);
+                results[u->primary] =
+                    runOnLane(u->lane, *u->q, u->key, submit_ns);
         });
     }
     runTasks(std::move(tasks));
@@ -203,15 +242,17 @@ EnginePool::evalBatch(const std::vector<Query> &qs)
 void
 EnginePool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
 {
+    obs::Span span("parallel-for", "exec");
+    span.arg("n", n);
     if (workers.empty() || n <= 1) {
         for (size_t i = 0; i < n; i++)
             fn(i);
         return;
     }
     auto next = std::make_shared<std::atomic<size_t>>(0);
-    size_t span = std::min<size_t>(jobs_, n);
+    size_t width = std::min<size_t>(jobs_, n);
     std::vector<std::function<void()>> tasks;
-    for (size_t t = 0; t < span; t++) {
+    for (size_t t = 0; t < width; t++) {
         tasks.push_back([next, n, &fn] {
             for (size_t i = (*next)++; i < n; i = (*next)++)
                 fn(i);

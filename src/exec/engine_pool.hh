@@ -142,8 +142,10 @@ class EnginePool
     };
 
     bmc::Engine &laneEngine(unsigned lane);
+    /** @p submit_ns: submission timestamp for queue-wait attribution
+     *  (0 = not queued, e.g. the synchronous eval() path). */
     bmc::CoverResult runOnLane(unsigned lane, const Query &q,
-                               const QueryKey &key);
+                               const QueryKey &key, uint64_t submit_ns = 0);
     void runTasks(std::vector<std::function<void()>> tasks);
     void workerLoop();
 

@@ -106,35 +106,59 @@ expandResult(const CachedResult &c, const Design &d)
     return r;
 }
 
+QueryCache::QueryCache()
+    // Per-instance registry counters: concurrent caches (one per pool)
+    // must tally independently for the benches' per-run accounting, so
+    // each instance gets a distinct `cache=<n>` label.
+    : QueryCache([] {
+          static std::atomic<uint64_t> next{0};
+          return obs::Labels{{"cache", std::to_string(next.fetch_add(1))}};
+      }())
+{
+}
+
+QueryCache::QueryCache(const obs::Labels &labels)
+    : hits_(obs::Registry::global().counter("exec.cache.hits", labels)),
+      misses_(obs::Registry::global().counter("exec.cache.misses", labels)),
+      entries_(obs::Registry::global().counter("exec.cache.entries", labels))
+{
+}
+
 bool
 QueryCache::get(const QueryKey &key, CachedResult *out)
 {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = map.find(key);
-    if (it == map.end()) {
-        stats_.misses++;
-        return false;
+    bool hit;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = map.find(key);
+        hit = it != map.end();
+        if (hit)
+            *out = it->second;
     }
-    stats_.hits++;
-    *out = it->second;
-    return true;
+    (hit ? hits_ : misses_).add(1);
+    return hit;
 }
 
 void
 QueryCache::put(const QueryKey &key, const bmc::CoverResult &result)
 {
-    std::lock_guard<std::mutex> lock(mu);
-    auto [it, inserted] = map.emplace(key, compressResult(result));
-    (void)it;
+    bool inserted;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        inserted = map.emplace(key, compressResult(result)).second;
+    }
     if (inserted)
-        stats_.entries++;
+        entries_.add(1);
 }
 
 CacheStats
 QueryCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu);
-    return stats_;
+    CacheStats s;
+    s.hits = hits_.value();
+    s.misses = misses_.value();
+    s.entries = entries_.value();
+    return s;
 }
 
 } // namespace rmp::exec

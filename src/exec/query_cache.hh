@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bmc/engine.hh"
+#include "obs/registry.hh"
 #include "prop/property.hh"
 
 namespace rmp::exec
@@ -73,7 +74,13 @@ QueryKey makeQueryKey(uint64_t design_fp, const bmc::EngineConfig &cfg,
 /** Structural fingerprint of a Design (cells, widths, connectivity). */
 uint64_t designFingerprint(const Design &d);
 
-/** Cache counters (monotonic; read via EnginePool::stats). */
+/**
+ * Cache counter snapshot (monotonic; read via EnginePool::stats). The
+ * live counters are obs::Counter instances in the global metrics
+ * registry, labeled `cache=<instance>` so concurrent pools (e.g. the
+ * jobs=1 vs jobs=4 runs of bench_perf_properties) stay individually
+ * exact; this struct is the point-in-time copy handed to reports.
+ */
 struct CacheStats
 {
     uint64_t hits = 0;
@@ -108,11 +115,16 @@ bmc::CoverResult expandResult(const CachedResult &c, const Design &d);
  *
  * get()/put() are individually locked; the EnginePool performs all get()
  * calls on the submitting thread (deterministic order) and put() calls
- * from workers, so a result is published exactly once per key.
+ * from workers, so a result is published exactly once per key. The
+ * hit/miss/entry counters are lock-free obs::Counter handles owned by
+ * the global metrics registry (labeled per cache instance), updated
+ * outside the map mutex.
  */
 class QueryCache
 {
   public:
+    QueryCache();
+
     /** Look up @p key; returns true and fills @p out on a hit. */
     bool get(const QueryKey &key, CachedResult *out);
 
@@ -122,9 +134,13 @@ class QueryCache
     CacheStats stats() const;
 
   private:
+    explicit QueryCache(const obs::Labels &labels);
+
     mutable std::mutex mu;
     std::unordered_map<QueryKey, CachedResult, QueryKeyHash> map;
-    CacheStats stats_;
+    obs::Counter &hits_;
+    obs::Counter &misses_;
+    obs::Counter &entries_;
 };
 
 } // namespace rmp::exec

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Observability master switch and clock.
+ *
+ * All tracing and metric *sampling* in the hot layers (sat, bmc, exec,
+ * rtl2mupath, synthlc) is gated behind one relaxed atomic load —
+ * obs::enabled() — so a build with observability compiled in but turned
+ * off pays a single predictable branch per instrumentation site and no
+ * clock reads, no allocation, and no locking (bench_obs_overhead proves
+ * the <2% bound). Always-on counters (e.g. the query-cache hit/miss
+ * counters, which the benches require regardless of observability) live
+ * in registry.hh and are plain atomic increments.
+ */
+
+#ifndef OBS_OBS_HH
+#define OBS_OBS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rmp::obs
+{
+
+namespace detail
+{
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/** True when tracing / metric sampling is on. One relaxed atomic load. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * Turn observability on or off. Enabling also pins the trace epoch (the
+ * zero of chrome-trace timestamps) if it is not already set.
+ */
+void setEnabled(bool on);
+
+/** Monotonic nanoseconds (steady clock). */
+inline uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace rmp::obs
+
+#endif // OBS_OBS_HH

@@ -1,0 +1,72 @@
+#include "obs/progress.hh"
+
+#include <cstdio>
+
+#include "obs/obs.hh"
+
+namespace rmp::obs
+{
+
+namespace
+{
+std::atomic<ProgressSink *> g_sink{nullptr};
+} // anonymous namespace
+
+void
+setProgressSink(ProgressSink *sink)
+{
+    g_sink.store(sink, std::memory_order_release);
+}
+
+void
+progress(const char *phase, uint64_t done, uint64_t total,
+         const std::string &detail)
+{
+    ProgressSink *s = g_sink.load(std::memory_order_acquire);
+    if (!s)
+        return;
+    Progress p;
+    p.phase = phase;
+    p.done = done;
+    p.total = total;
+    p.detail = detail;
+    s->update(p);
+}
+
+StderrProgress::StderrProgress(uint64_t minIntervalNs)
+    : minIntervalNs_(minIntervalNs)
+{
+}
+
+StderrProgress::~StderrProgress()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (dirty_)
+        std::fprintf(stderr, "\n");
+}
+
+void
+StderrProgress::update(const Progress &p)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    uint64_t now = nowNs();
+    bool phaseChange = p.phase != lastPhase_;
+    bool finished = p.total && p.done >= p.total;
+    if (!phaseChange && !finished && now - lastNs_ < minIntervalNs_)
+        return;
+    lastNs_ = now;
+    lastPhase_ = p.phase;
+    if (p.total)
+        std::fprintf(stderr, "\r\033[K[%s] %llu/%llu %s", p.phase,
+                     static_cast<unsigned long long>(p.done),
+                     static_cast<unsigned long long>(p.total),
+                     p.detail.c_str());
+    else
+        std::fprintf(stderr, "\r\033[K[%s] %llu %s", p.phase,
+                     static_cast<unsigned long long>(p.done),
+                     p.detail.c_str());
+    std::fflush(stderr);
+    dirty_ = true;
+}
+
+} // namespace rmp::obs

@@ -1,0 +1,123 @@
+#include "obs/registry.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rmp::obs
+{
+
+Labels::Labels(
+    std::initializer_list<std::pair<std::string, std::string>> init)
+    : kv(init)
+{
+    std::sort(kv.begin(), kv.end());
+}
+
+std::string
+Labels::str() const
+{
+    std::string out;
+    for (size_t i = 0; i < kv.size(); i++) {
+        if (i)
+            out += ",";
+        out += kv[i].first + "=" + kv[i].second;
+    }
+    return out;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry r;
+    return r;
+}
+
+Registry::Metric &
+Registry::find(const std::string &name, const Labels &labels,
+               Sample::Kind kind)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, fresh] = metrics.try_emplace({name, labels});
+    Metric &m = it->second;
+    if (fresh) {
+        m.kind = kind;
+        switch (kind) {
+          case Sample::Kind::Counter:
+            m.c = std::make_unique<Counter>();
+            break;
+          case Sample::Kind::Gauge:
+            m.g = std::make_unique<Gauge>();
+            break;
+          case Sample::Kind::Histogram:
+            m.h = std::make_unique<Histogram>();
+            break;
+        }
+    }
+    rmp_assert(m.kind == kind, "metric '%s' re-registered as another kind",
+               name.c_str());
+    return m;
+}
+
+Counter &
+Registry::counter(const std::string &name, const Labels &labels)
+{
+    return *find(name, labels, Sample::Kind::Counter).c;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const Labels &labels)
+{
+    return *find(name, labels, Sample::Kind::Gauge).g;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const Labels &labels)
+{
+    return *find(name, labels, Sample::Kind::Histogram).h;
+}
+
+std::vector<Sample>
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<Sample> out;
+    out.reserve(metrics.size());
+    for (const auto &[key, m] : metrics) {
+        Sample s;
+        s.name = key.first;
+        s.labels = key.second.str();
+        s.kind = m.kind;
+        switch (m.kind) {
+          case Sample::Kind::Counter:
+            s.value = static_cast<int64_t>(m.c->value());
+            break;
+          case Sample::Kind::Gauge:
+            s.value = m.g->value();
+            break;
+          case Sample::Kind::Histogram:
+            s.value = static_cast<int64_t>(m.h->count());
+            s.sum = m.h->sum();
+            s.max = m.h->max();
+            s.mean = m.h->mean();
+            break;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &[key, m] : metrics) {
+        switch (m.kind) {
+          case Sample::Kind::Counter: m.c->reset(); break;
+          case Sample::Kind::Gauge: m.g->reset(); break;
+          case Sample::Kind::Histogram: m.h->reset(); break;
+        }
+    }
+}
+
+} // namespace rmp::obs

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/table.hh"
+#include "obs/registry.hh"
+#include "report/json.hh"
 
 namespace rmp::report
 {
@@ -218,6 +220,62 @@ renderDecisions(const designs::Harness &hx, const InstrPaths &paths)
         os << (i ? ", " : "") << hx.plName(srcs[i]);
     os << "}\n";
     return os.str();
+}
+
+std::string
+renderObsStats()
+{
+    std::vector<obs::Sample> samples = obs::Registry::global().snapshot();
+    if (samples.empty())
+        return "";
+    AsciiTable t;
+    t.setHeader({"metric", "labels", "kind", "value", "sum", "max", "mean"});
+    auto fmt1 = [](double v) {
+        char buf[32];
+        snprintf(buf, sizeof(buf), "%.1f", v);
+        return std::string(buf);
+    };
+    for (const obs::Sample &s : samples) {
+        const char *kind = s.kind == obs::Sample::Kind::Counter ? "counter"
+                           : s.kind == obs::Sample::Kind::Gauge
+                               ? "gauge"
+                               : "histogram";
+        bool hist = s.kind == obs::Sample::Kind::Histogram;
+        t.addRow({s.name, s.labels, kind, std::to_string(s.value),
+                  hist ? std::to_string(s.sum) : "",
+                  hist ? std::to_string(s.max) : "",
+                  hist ? fmt1(s.mean) : ""});
+    }
+    std::ostringstream os;
+    os << "Run metrics (" << samples.size() << " series)\n" << t.str();
+    return os.str();
+}
+
+std::string
+runSummaryJson(const std::string &bench, const std::string &design,
+               double wall_seconds, const exec::PoolStats *pool)
+{
+    JsonReport out;
+    out.put("bench", bench);
+    out.put("design", design);
+    out.put("wall_seconds", wall_seconds);
+    if (pool)
+        out.putRaw("pool", poolStatsJson(*pool));
+    JsonReport metrics;
+    for (const obs::Sample &s : obs::Registry::global().snapshot()) {
+        std::string key = s.name;
+        if (!s.labels.empty())
+            key += "{" + s.labels + "}";
+        if (s.kind == obs::Sample::Kind::Histogram) {
+            metrics.put(key + ".count", static_cast<uint64_t>(s.value));
+            metrics.put(key + ".sum", s.sum);
+            metrics.put(key + ".max", s.max);
+        } else {
+            metrics.put(key, static_cast<uint64_t>(s.value));
+        }
+    }
+    out.putRaw("metrics", metrics.str());
+    return out.str();
 }
 
 } // namespace rmp::report

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "contracts/contracts.hh"
+#include "exec/engine_pool.hh"
 #include "rtl2mupath/synth.hh"
 #include "synthlc/synthlc.hh"
 
@@ -42,6 +43,30 @@ std::string renderStepStats(const std::vector<r2m::StepStats> &steps,
  * (bmc::Engine::coiStats, merged across lanes by exec::EnginePool).
  */
 std::string renderCoiStats(const bmc::CoiStats &coi);
+
+/**
+ * Render the global obs::Registry as a text table: one row per
+ * (metric, labels) pair, with count/sum/max/mean columns for histograms.
+ * Empty string when the registry holds no samples.
+ */
+std::string renderObsStats();
+
+/**
+ * Build the `--stats --json` run summary: a flat JSON object in the
+ * BENCH_*.json schema ("bench" key first, scalars after), nesting the
+ * pool statistics under "pool" exactly as the bench reporters do and the
+ * registry metrics under "metrics" (one key per metric/label pair;
+ * histograms expand to .count/.sum/.max).
+ *
+ * @p bench  the run's identifier (e.g. "rmp-synth").
+ * @p design the DUV name.
+ * @p wall_seconds end-to-end wall-clock time of the run.
+ * @p pool   the engine pool's aggregate statistics, or nullptr when the
+ *           command ran no pool.
+ */
+std::string runSummaryJson(const std::string &bench,
+                           const std::string &design, double wall_seconds,
+                           const exec::PoolStats *pool);
 
 /** Render all μPATHs of one instruction with figure-style headers. */
 std::string renderInstrPaths(const designs::Harness &hx,

@@ -2,12 +2,16 @@
 #include <functional>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <set>
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "obs/progress.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace rmp::r2m
 {
@@ -101,6 +105,11 @@ MuPathSynthesizer::query(size_t step, const ExprRef &seq,
     CoverResult r = pool_.eval(q);
     traceQuery(hx.design(), step, q, r);
     tallyQuery(stats_[step], r);
+    if (obs::enabled())
+        obs::Registry::global()
+            .counter("r2m.covers", {{"step", kStepNames[step]},
+                                    {"design", hx.design().name()}})
+            .add(1);
     return r;
 }
 
@@ -112,6 +121,13 @@ MuPathSynthesizer::queryBatch(size_t step, std::vector<exec::Query> qs)
         traceQuery(hx.design(), step, qs[i], rs[i]);
         tallyQuery(stats_[step], rs[i]);
     }
+    if (obs::enabled() && !rs.empty())
+        obs::Registry::global()
+            .counter("r2m.covers", {{"step", kStepNames[step]},
+                                    {"design", hx.design().name()}})
+            .add(rs.size());
+    obs::progress(kStepNames[step], stats_[step].queries, 0,
+                  hx.design().name());
     return rs;
 }
 
@@ -123,6 +139,9 @@ MuPathSynthesizer::facts(InstrId iuv)
         return it->second;
     SimFacts f;
     if (cfg.useSimExploration) {
+        obs::Span span("sim-explore", "r2m");
+        span.arg("iuv", iuv);
+        span.arg("runs", cfg.explore.runs);
         auto t0 = std::chrono::steady_clock::now();
         f = exploreSim(hx, iuv, cfg.explore);
         auto t1 = std::chrono::steady_clock::now();
@@ -425,6 +444,8 @@ MuPathSynthesizer::reachableSetsAllSat(InstrId iuv,
 uhb::InstrPaths
 MuPathSynthesizer::synthesize(InstrId iuv)
 {
+    obs::Span span("r2m-synthesize", "r2m");
+    span.arg("iuv", iuv);
     InstrPaths result;
     result.instr = iuv;
     ExprRef is_iuv = hx.assumeIuvIs(iuv);
@@ -572,6 +593,15 @@ MuPathSynthesizer::synthesize(InstrId iuv)
     }
 
     synthesizeDecisions(iuv, ipls, result);
+    if (span.active()) {
+        span.arg("upaths", result.paths.size());
+        span.arg("decisions", result.decisions.size());
+        const std::string &iname = hx.duv().instrs[iuv].name;
+        obs::Registry &reg = obs::Registry::global();
+        obs::Labels labels{{"design", hx.design().name()}, {"iuv", iname}};
+        reg.counter("r2m.upaths", labels).add(result.paths.size());
+        reg.counter("r2m.decisions", labels).add(result.decisions.size());
+    }
     return result;
 }
 
@@ -586,13 +616,21 @@ MuPathSynthesizer::synthesizeAll(const std::vector<InstrId> &iuvs)
         for (InstrId iuv : iuvs)
             if (!factsCache.count(iuv))
                 todo.push_back(iuv);
+        obs::Span span("r2m-explore-all", "r2m");
+        span.arg("iuvs", todo.size());
         std::vector<SimFacts> fresh(todo.size());
         std::vector<double> secs(todo.size(), 0.0);
+        std::atomic<uint64_t> explored{0};
         pool_.parallelFor(todo.size(), [&](size_t k) {
+            obs::Span inner("sim-explore", "r2m");
+            inner.arg("iuv", todo[k]);
+            inner.arg("runs", cfg.explore.runs);
             auto t0 = std::chrono::steady_clock::now();
             fresh[k] = exploreSim(hx, todo[k], cfg.explore);
             auto t1 = std::chrono::steady_clock::now();
             secs[k] = std::chrono::duration<double>(t1 - t0).count();
+            obs::progress("0:sim-explore (runs)", explored.fetch_add(1) + 1,
+                          todo.size(), hx.design().name());
         });
         for (size_t k = 0; k < todo.size(); k++) {
             StepStats &st = stats_[kSimExplore];

@@ -5,6 +5,8 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace rmp::sat
 {
@@ -454,6 +456,35 @@ Solver::luby(uint64_t i)
 
 SatResult
 Solver::solve(const std::vector<Lit> &assumptions, const SatBudget &budget)
+{
+    if (!obs::enabled())
+        return solveLoop(assumptions, budget);
+    obs::Span span("sat-solve", "sat");
+    SatStats before = stats_;
+    SatResult r = solveLoop(assumptions, budget);
+    span.arg("decisions", stats_.decisions - before.decisions);
+    span.arg("conflicts", stats_.conflicts - before.conflicts);
+    span.arg("propagations", stats_.propagations - before.propagations);
+    span.arg("restarts", stats_.restarts - before.restarts);
+    span.arg("learned", stats_.learnedClauses - before.learnedClauses);
+    span.arg("sat", r == SatResult::Sat);
+    obs::Registry &reg = obs::Registry::global();
+    reg.counter("sat.solves").add(1);
+    reg.counter("sat.decisions").add(stats_.decisions - before.decisions);
+    reg.counter("sat.conflicts").add(stats_.conflicts - before.conflicts);
+    reg.counter("sat.propagations")
+        .add(stats_.propagations - before.propagations);
+    reg.counter("sat.restarts").add(stats_.restarts - before.restarts);
+    reg.counter("sat.learned_clauses")
+        .add(stats_.learnedClauses - before.learnedClauses);
+    reg.counter("sat.removed_clauses")
+        .add(stats_.removedClauses - before.removedClauses);
+    return r;
+}
+
+SatResult
+Solver::solveLoop(const std::vector<Lit> &assumptions,
+                  const SatBudget &budget)
 {
     if (!okay)
         return SatResult::Unsat;

@@ -94,6 +94,9 @@ class Solver
     /** Number of variables. */
     int numVars() const { return static_cast<int>(assigns.size()); }
 
+    /** Number of clauses in the database (original + learned). */
+    size_t numClauses() const { return clauses.size(); }
+
     /**
      * Add a clause (disjunction of literals).
      * @return false if the formula is already trivially unsat.
@@ -109,7 +112,14 @@ class Solver
         return addClause(std::vector<Lit>{a, b, c});
     }
 
-    /** Solve under optional assumptions with optional budget. */
+    /**
+     * Solve under optional assumptions with optional budget.
+     *
+     * When observability is on (obs::enabled) each call records a
+     * `sat-solve` span carrying the decision/conflict/propagation/
+     * restart/learned-clause deltas of this call, and folds the same
+     * deltas into the global metrics registry.
+     */
     SatResult solve(const std::vector<Lit> &assumptions = {},
                     const SatBudget &budget = {});
 
@@ -136,6 +146,8 @@ class Solver
         Lit blocker;
     };
 
+    SatResult solveLoop(const std::vector<Lit> &assumptions,
+                        const SatBudget &budget);
     LBool litValue(Lit l) const;
     void enqueue(Lit l, ClauseRef reason);
     ClauseRef propagate();

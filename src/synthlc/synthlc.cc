@@ -1,11 +1,15 @@
 #include "synthlc/synthlc.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <random>
 #include <set>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/progress.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "rtl2mupath/sim_explore.hh"
 
 namespace rmp::slc
@@ -350,17 +354,35 @@ SynthLc::analyze(InstrId transponder, const std::vector<Decision> &decisions,
         }
     }
 
+    obs::Span span("slc-analyze", "slc");
+    span.arg("transponder", transponder);
+    span.arg("batches", batches.size());
+
     // Phase A: taint-simulation pre-filtering. The batches are pure
     // functions of their parameters and write index-distinct hit sets,
     // so they run concurrently on the pool's workers; the simHits tally
     // is folded in serially afterwards.
     std::vector<std::set<std::pair<PlId, Decision>>> hits(batches.size());
-    pool_.parallelFor(batches.size(), [&](size_t k) {
-        simBatch(transponder, batches[k].t, batches[k].op, batches[k].type,
-                 sources, universe, &hits[k]);
-    });
+    {
+        obs::Span sim_span("slc-sim-filter", "slc");
+        sim_span.arg("batches", batches.size());
+        std::atomic<uint64_t> done{0};
+        pool_.parallelFor(batches.size(), [&](size_t k) {
+            simBatch(transponder, batches[k].t, batches[k].op,
+                     batches[k].type, sources, universe, &hits[k]);
+            obs::progress("slc:sim-filter", done.fetch_add(1) + 1,
+                          batches.size(),
+                          info.instrs[transponder].name);
+        });
+    }
+    uint64_t batch_hits = 0;
     for (const auto &h : hits)
-        stats_.simHits += h.size();
+        batch_hits += h.size();
+    stats_.simHits += batch_hits;
+    if (obs::enabled())
+        obs::Registry::global()
+            .counter("slc.sim_hits", {{"design", hx.design().name()}})
+            .add(batch_hits);
 
     // Phase B: the decision_taint covers the simulations did not
     // discharge. All of them — across every batch — are mutually
@@ -380,6 +402,11 @@ SynthLc::analyze(InstrId transponder, const std::vector<Decision> &decisions,
             }
         }
     }
+    span.arg("probes", qs.size());
+    if (obs::enabled())
+        obs::Registry::global()
+            .counter("slc.probes", {{"design", hx.design().name()}})
+            .add(qs.size());
     std::vector<bmc::CoverResult> rs = pool_.evalBatch(qs);
 
     // Per-(decision) tag accumulation, in the canonical batch order.
@@ -444,6 +471,14 @@ SynthLc::analyze(InstrId transponder, const std::vector<Decision> &decisions,
         sig.inputs.assign(ins.begin(), ins.end());
         sig.implicitInputs = implicitInputsOf(ds[0]);
         out.push_back(std::move(sig));
+    }
+    if (span.active()) {
+        span.arg("signatures", out.size());
+        obs::Registry::global()
+            .counter("slc.signatures",
+                     {{"design", hx.design().name()},
+                      {"transponder", info.instrs[transponder].name}})
+            .add(out.size());
     }
     return out;
 }

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * End-to-end tests of the rmp command-line binary (robustness satellite):
+ * malformed invocations must print the usage text and exit non-zero;
+ * well-formed ones must succeed and honor --trace/--stats. Shells out to
+ * the real binary (path injected as RMP_BIN by CMake).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace
+{
+
+struct RunResult
+{
+    int status = -1;
+    std::string output; ///< stdout + stderr interleaved
+};
+
+/** Run `RMP_BIN <args>` capturing combined output and exit status. */
+RunResult
+run(const std::string &args)
+{
+    std::string cmd = std::string(RMP_BIN) + " " + args + " 2>&1";
+    RunResult r;
+    FILE *p = popen(cmd.c_str(), "r");
+    if (!p)
+        return r;
+    std::array<char, 4096> buf;
+    size_t n;
+    while ((n = fread(buf.data(), 1, buf.size(), p)) > 0)
+        r.output.append(buf.data(), n);
+    int rc = pclose(p);
+    r.status = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+    return r;
+}
+
+bool
+mentionsUsage(const std::string &out)
+{
+    return out.find("usage: rmp") != std::string::npos;
+}
+
+} // anonymous namespace
+
+TEST(Cli, NoCommandFailsWithUsage)
+{
+    RunResult r = run("");
+    EXPECT_NE(r.status, 0);
+    EXPECT_TRUE(mentionsUsage(r.output)) << r.output;
+}
+
+TEST(Cli, UnknownCommandFailsWithUsage)
+{
+    RunResult r = run("frobnicate");
+    EXPECT_NE(r.status, 0);
+    EXPECT_TRUE(mentionsUsage(r.output)) << r.output;
+    EXPECT_NE(r.output.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, MissingSubcommandArgsFailWithUsage)
+{
+    for (const char *cmd : {"upaths", "leakage", "contracts", "bugs",
+                            "lint", "synth", "upaths tiny3"}) {
+        RunResult r = run(cmd);
+        EXPECT_NE(r.status, 0) << cmd;
+        EXPECT_TRUE(mentionsUsage(r.output)) << cmd << ": " << r.output;
+    }
+}
+
+TEST(Cli, UnknownFlagFailsWithUsage)
+{
+    RunResult r = run("bugs tiny3 --frob");
+    EXPECT_NE(r.status, 0);
+    EXPECT_TRUE(mentionsUsage(r.output)) << r.output;
+    EXPECT_NE(r.output.find("unknown option '--frob'"), std::string::npos);
+}
+
+TEST(Cli, FlagMissingArgumentFailsWithUsage)
+{
+    RunResult r = run("bugs tiny3 --budget");
+    EXPECT_NE(r.status, 0);
+    EXPECT_TRUE(mentionsUsage(r.output)) << r.output;
+    EXPECT_NE(r.output.find("requires an argument"), std::string::npos);
+}
+
+TEST(Cli, UnknownDuvFailsNonZero)
+{
+    RunResult r = run("bugs nosuchduv");
+    EXPECT_NE(r.status, 0);
+    EXPECT_NE(r.output.find("unknown DUV"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds)
+{
+    RunResult r = run("help");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_TRUE(mentionsUsage(r.output));
+}
+
+TEST(Cli, ListSucceeds)
+{
+    RunResult r = run("list");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_NE(r.output.find("tiny3"), std::string::npos);
+}
+
+TEST(Cli, BugsTiny3Succeeds)
+{
+    RunResult r = run("bugs tiny3");
+    EXPECT_EQ(r.status, 0) << r.output;
+    EXPECT_NE(r.output.find("candidate PLs reachable"), std::string::npos);
+}
+
+TEST(Cli, SynthWithTraceAndStats)
+{
+    std::string trace =
+        ::testing::TempDir() + "/rmp_cli_trace.json";
+    std::remove(trace.c_str());
+    RunResult r = run("synth tiny3 --trace " + trace + " --stats");
+    EXPECT_EQ(r.status, 0) << r.output;
+    EXPECT_NE(r.output.find("uPATH"), std::string::npos);
+    EXPECT_NE(r.output.find("Run metrics"), std::string::npos);
+    // The trace file exists and is chrome-trace shaped.
+    std::FILE *f = std::fopen(trace.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string content;
+    std::array<char, 4096> buf;
+    size_t n;
+    while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0)
+        content.append(buf.data(), n);
+    std::fclose(f);
+    EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(content.find("\"sat-solve\""), std::string::npos);
+    EXPECT_NE(content.find("\"bmc-unroll\""), std::string::npos);
+    EXPECT_NE(content.find("\"pool-lane\""), std::string::npos);
+    std::remove(trace.c_str());
+}
+
+TEST(Cli, StatsJsonIsWellFormedSummary)
+{
+    RunResult r = run("bugs tiny3 --stats --json");
+    EXPECT_EQ(r.status, 0) << r.output;
+    // The summary is the last line of stdout: a flat JSON object in the
+    // BENCH_*.json schema with the "bench" key first.
+    size_t pos = r.output.rfind("{\"bench\": \"rmp-bugs\"");
+    ASSERT_NE(pos, std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("\"pool\": {", pos), std::string::npos);
+    EXPECT_NE(r.output.find("\"metrics\": {", pos), std::string::npos);
+    EXPECT_NE(r.output.find("\"design\": \"tiny3\"", pos),
+              std::string::npos);
+}

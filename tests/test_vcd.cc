@@ -1,0 +1,175 @@
+/**
+ * @file
+ * VCD writer edge cases: 1-bit scalar formatting, never-changing
+ * signals, identifier rollover past 94 dumped signals, and empty
+ * traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rtlir/builder.hh"
+#include "sim/simulator.hh"
+#include "sim/vcd.hh"
+
+using namespace rmp;
+
+namespace
+{
+
+/** All "$var ..." identifier codes, in declaration order. */
+std::vector<std::string>
+varIds(const std::string &vcd)
+{
+    std::vector<std::string> out;
+    std::istringstream is(vcd);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("$var ", 0) != 0)
+            continue;
+        // $var wire <w> <id> <name> $end
+        std::istringstream ls(line);
+        std::string var, wire, w, id;
+        ls >> var >> wire >> w >> id;
+        out.push_back(id);
+    }
+    return out;
+}
+
+/** Count occurrences of a whole line. */
+size_t
+countLines(const std::string &vcd, const std::string &needle)
+{
+    size_t n = 0;
+    std::istringstream is(vcd);
+    std::string line;
+    while (std::getline(is, line))
+        if (line == needle)
+            n++;
+    return n;
+}
+
+} // anonymous namespace
+
+TEST(Vcd, OneBitSignalsUseScalarFormat)
+{
+    Design d("bit");
+    Builder b(d);
+    Sig in = b.input("in", 1);
+    RegSig r = b.regh("r", 1, 0);
+    b.assign(r, in);
+    b.finalize();
+
+    Simulator sim(d);
+    sim.step({{in.id, 1}});
+    sim.step({{in.id, 0}});
+    sim.step({{in.id, 1}});
+
+    std::string vcd = traceToVcd(d, sim.trace());
+    // Scalar (1-bit) changes are emitted as "0<id>" / "1<id>", never as
+    // vector "b... <id>" records.
+    EXPECT_EQ(vcd.find("b0 "), std::string::npos);
+    EXPECT_EQ(vcd.find("b1 "), std::string::npos);
+    auto ids = varIds(vcd);
+    ASSERT_EQ(ids.size(), 2u); // "in" and "r"
+    for (const auto &id : ids)
+        EXPECT_TRUE(countLines(vcd, "0" + id) > 0 ||
+                    countLines(vcd, "1" + id) > 0);
+    // The input toggles 1,0,1: both polarities must appear for it.
+    EXPECT_GE(countLines(vcd, "1" + ids[0]), 2u);
+    EXPECT_GE(countLines(vcd, "0" + ids[0]), 1u);
+}
+
+TEST(Vcd, ConstantSignalDumpedExactlyOnce)
+{
+    Design d("consts");
+    Builder b(d);
+    Sig in = b.input("in", 4);
+    RegSig frozen = b.regh("frozen", 4, 5); // never assigned: stays 5
+    (void)frozen;
+    b.named("mirror", in);
+    b.finalize();
+
+    Simulator sim(d);
+    for (int t = 0; t < 6; t++)
+        sim.step({{in.id, 9}}); // constant input too
+
+    std::string vcd = traceToVcd(d, sim.trace());
+    auto ids = varIds(vcd);
+    ASSERT_GE(ids.size(), 2u);
+    // Every signal holds one value for the whole trace, so each value
+    // record appears exactly once (at #0) despite 6 cycles.
+    for (const auto &id : ids) {
+        size_t records = 0;
+        std::istringstream is(vcd);
+        std::string line;
+        while (std::getline(is, line))
+            if (line.size() > id.size() &&
+                line.compare(line.size() - id.size(), id.size(), id) == 0 &&
+                line[0] != '$')
+                records++;
+        EXPECT_EQ(records, 1u) << "id " << id;
+    }
+    // All 6 timesteps are still present.
+    for (int t = 0; t <= 6; t++)
+        EXPECT_EQ(countLines(vcd, "#" + std::to_string(t)), 1u);
+}
+
+TEST(Vcd, IdentifierRolloverPast94Signals)
+{
+    // 100 named signals force multi-character VCD identifiers (the code
+    // space is the 94 printable chars '!'..'~' per position).
+    Design d("many");
+    Builder b(d);
+    Sig in = b.input("sig0", 8);
+    for (int i = 1; i < 100; i++)
+        b.named("sig" + std::to_string(i), in + b.lit(8, i));
+    b.finalize();
+
+    Simulator sim(d);
+    sim.step({{in.id, 1}});
+    sim.step({{in.id, 2}});
+
+    std::string vcd = traceToVcd(d, sim.trace());
+    auto ids = varIds(vcd);
+    ASSERT_EQ(ids.size(), 100u);
+    std::set<std::string> uniq(ids.begin(), ids.end());
+    EXPECT_EQ(uniq.size(), 100u) << "identifier collision after rollover";
+    // The 95th signal (index 94) rolls over to a two-char identifier.
+    EXPECT_EQ(ids[93].size(), 1u);
+    EXPECT_EQ(ids[94].size(), 2u);
+    for (const auto &id : ids) {
+        for (char c : id) {
+            EXPECT_GE(c, '!');
+            EXPECT_LE(c, '~');
+        }
+    }
+}
+
+TEST(Vcd, EmptyTraceIsWellFormed)
+{
+    Design d("empty");
+    Builder b(d);
+    b.input("in", 2);
+    b.finalize();
+
+    Simulator sim(d); // no steps: zero-cycle trace
+    std::string vcd = traceToVcd(d, sim.trace());
+    EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$scope module empty $end"), std::string::npos);
+    EXPECT_EQ(countLines(vcd, "#0"), 1u); // final timestamp only
+    auto ids = varIds(vcd);
+    EXPECT_EQ(ids.size(), 1u);
+    // No value records at all.
+    std::istringstream is(vcd);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '$' || line[0] == '#')
+            continue;
+        ADD_FAILURE() << "unexpected value record in empty trace: " << line;
+    }
+}

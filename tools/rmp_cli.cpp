@@ -2,31 +2,12 @@
  * @file
  * rmp — the command-line front end to the RTL2MμPATH/SynthLC library.
  *
- * Usage:
- *   rmp list
- *   rmp upaths   <duv> <instr> [options]
- *   rmp leakage  <duv> <instr> [--tx A,B,...] [options]
- *   rmp contracts <duv> [--instrs A,B,...] [options]
- *   rmp bugs     <duv>           (DUV PL reachability summary)
- *   rmp lint     <duv>|all [--json]   (netlist + IFT soundness lint)
- *
- * DUVs: tiny3, tiny3-zs, mcva, mcva-mul, mcva-op, mcva-fixed,
- *       mcva-scbbug, dcache.
- *
- * Options:
- *   --budget N      per-query SAT conflict budget (default 20000)
- *   --closure       run the full BMC closure queries (slow, formal)
- *   --counts        enumerate revisit cycle counts (§V-B6 mode (i))
- *   --jobs N        worker threads for property evaluation
- *                   (default: hardware concurrency; results identical
- *                   for every value)
- *   --coi           unroll only each query's sequential cone of
- *                   influence (verdicts unchanged; prints COI stats)
- *   --json          machine-readable lint output
- *   --dot DIR       write one Graphviz file per synthesized μPATH
- *   --vcd FILE      write the first μPATH witness as a VCD waveform
+ * Run `rmp help` (or any malformed command line) for the full usage
+ * text; the observability flags (--trace / --stats / --progress) are
+ * documented in docs/TUTORIAL.md along with a Perfetto walkthrough.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,6 +18,9 @@
 #include "designs/dcache.hh"
 #include "designs/mcva.hh"
 #include "designs/tiny3.hh"
+#include "obs/progress.hh"
+#include "obs/trace.hh"
+#include "report/json.hh"
 #include "report/report.hh"
 #include "rtl2mupath/synth.hh"
 #include "sim/vcd.hh"
@@ -47,6 +31,58 @@ using namespace rmp::designs;
 
 namespace
 {
+
+void
+usage(std::FILE *f)
+{
+    std::fprintf(
+        f,
+        "usage: rmp <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                      list the built-in DUVs\n"
+        "  synth     <duv>           synthesize uPATHs for every"
+        " instruction\n"
+        "  upaths    <duv> <instr>   synthesize one instruction's uPATHs\n"
+        "  leakage   <duv> <instr>   SynthLC leakage signatures\n"
+        "  contracts <duv>           end-to-end contract synthesis\n"
+        "  bugs      <duv>           DUV PL reachability summary\n"
+        "  lint      <duv>|all       netlist + IFT soundness lint\n"
+        "  help                      print this message\n"
+        "\n"
+        "DUVs: tiny3 tiny3-zs mcva mcva-mul mcva-op mcva-fixed"
+        " mcva-scbbug dcache\n"
+        "\n"
+        "options:\n"
+        "  --budget N     per-query SAT conflict budget (default 20000)\n"
+        "  --closure      run the full BMC closure queries (slow, formal)\n"
+        "  --counts       enumerate revisit cycle counts (mode (i))\n"
+        "  --jobs N       worker threads for property evaluation\n"
+        "                 (default: hardware concurrency; verdicts are\n"
+        "                 identical for every value)\n"
+        "  --coi          unroll only each query's sequential cone of\n"
+        "                 influence (verdicts unchanged; prints COI stats)\n"
+        "  --tx A,B,...   transmitter instructions (leakage)\n"
+        "  --instrs A,... instruction subset (synth, contracts)\n"
+        "  --dot DIR      write one Graphviz file per synthesized uPATH\n"
+        "  --vcd FILE     write the first uPATH witness as a VCD waveform\n"
+        "  --trace FILE   record a chrome://tracing / Perfetto trace of\n"
+        "                 the whole run and write it to FILE\n"
+        "  --stats        print run metrics after the command; with\n"
+        "                 --json, emit the machine-readable run summary\n"
+        "  --progress     live progress line on stderr\n"
+        "  --json         machine-readable output (lint, --stats)\n");
+}
+
+[[noreturn]] void
+usageError(const char *fmt, const char *arg)
+{
+    std::fprintf(stderr, "rmp: ");
+    std::fprintf(stderr, fmt, arg);
+    std::fprintf(stderr, "\n\n");
+    usage(stderr);
+    std::exit(2);
+}
 
 DuvUnderConstruction
 buildByName(const std::string &name)
@@ -67,9 +103,9 @@ buildByName(const std::string &name)
         return buildMcva({.withScbCounterBug = true});
     if (name == "dcache")
         return buildDcache();
-    std::fprintf(stderr, "unknown DUV '%s' (try: rmp list)\n",
+    std::fprintf(stderr, "rmp: unknown DUV '%s' (try: rmp list)\n",
                  name.c_str());
-    std::exit(1);
+    std::exit(2);
 }
 
 std::vector<std::string>
@@ -91,9 +127,12 @@ struct CliOptions
     bool counts = false;
     bool coi = false;
     bool json = false;
+    bool stats = false;
+    bool progress = false;
     unsigned jobs = 0; // 0 = hardware_concurrency()
     std::string dotDir;
     std::string vcdFile;
+    std::string traceFile;
     std::vector<std::string> tx;
     std::vector<std::string> instrs;
 };
@@ -105,10 +144,8 @@ parseOptions(int argc, char **argv, int first)
     for (int i = first; i < argc; i++) {
         std::string a = argv[i];
         auto need = [&](const char *flag) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s requires an argument\n", flag);
-                std::exit(1);
-            }
+            if (i + 1 >= argc)
+                usageError("option %s requires an argument", flag);
             return std::string(argv[++i]);
         };
         if (a == "--budget")
@@ -121,20 +158,24 @@ parseOptions(int argc, char **argv, int first)
             o.coi = true;
         else if (a == "--json")
             o.json = true;
+        else if (a == "--stats")
+            o.stats = true;
+        else if (a == "--progress")
+            o.progress = true;
         else if (a == "--jobs")
             o.jobs = static_cast<unsigned>(std::stoul(need("--jobs")));
         else if (a == "--dot")
             o.dotDir = need("--dot");
         else if (a == "--vcd")
             o.vcdFile = need("--vcd");
+        else if (a == "--trace")
+            o.traceFile = need("--trace");
         else if (a == "--tx")
             o.tx = splitCsv(need("--tx"));
         else if (a == "--instrs")
             o.instrs = splitCsv(need("--instrs"));
-        else {
-            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
-            std::exit(1);
-        }
+        else
+            usageError("unknown option '%s'", a.c_str());
     }
     return o;
 }
@@ -149,6 +190,57 @@ synthConfig(const CliOptions &o)
     c.jobs = o.jobs;
     c.coiPruning = o.coi;
     return c;
+}
+
+/**
+ * Run outcome captured for the --stats / --trace epilogue in main():
+ * commands that drive an engine pool snapshot its statistics here
+ * before their pool is destroyed.
+ */
+std::string g_design;
+exec::PoolStats g_pool;
+bool g_havePool = false;
+
+void
+snapshotPool(const designs::Harness &hx, const exec::EnginePool &pool)
+{
+    g_design = hx.design().name();
+    g_pool = pool.stats();
+    g_havePool = true;
+}
+
+int
+cmdSynth(const std::string &duv, const CliOptions &o)
+{
+    Harness hx(buildByName(duv));
+    r2m::MuPathSynthesizer synth(hx, synthConfig(o));
+    std::vector<std::string> names = o.instrs;
+    if (names.empty())
+        for (const auto &ins : hx.duv().instrs)
+            names.push_back(ins.name);
+    std::vector<uhb::InstrId> ids;
+    for (const auto &n : names)
+        ids.push_back(hx.duv().instrId(n));
+    auto all = synth.synthesizeAll(ids);
+    size_t paths = 0, decisions = 0;
+    for (uhb::InstrId i : ids) {
+        const uhb::InstrPaths &r = all.at(i);
+        std::printf("%-10s %2zu uPATH(s)  %2zu decision(s)\n",
+                    hx.duv().instrs[i].name.c_str(), r.paths.size(),
+                    r.decisions.size());
+        paths += r.paths.size();
+        decisions += r.decisions.size();
+    }
+    std::printf("%s: %zu instruction(s), %zu uPATH(s), %zu decision(s)\n",
+                hx.duv().name.c_str(), ids.size(), paths, decisions);
+    std::printf("\n%s",
+                report::renderStepStats(synth.stepStats()).c_str());
+    if (o.coi)
+        std::printf("\nCone-of-influence statistics:\n%s",
+                    report::renderCoiStats(synth.pool().stats().coi)
+                        .c_str());
+    snapshotPool(hx, synth.pool());
+    return 0;
 }
 
 int
@@ -188,6 +280,7 @@ cmdUpaths(const std::string &duv, const std::string &instr,
         std::printf("\nCone-of-influence statistics:\n%s",
                     report::renderCoiStats(synth.pool().stats().coi)
                         .c_str());
+    snapshotPool(hx, synth.pool());
     return 0;
 }
 
@@ -217,6 +310,7 @@ cmdLeakage(const std::string &duv, const std::string &instr,
     std::printf("\n%s",
                 report::renderStepStats(synth.stepStats(), &slc.stats())
                     .c_str());
+    snapshotPool(hx, synth.pool());
     return 0;
 }
 
@@ -255,6 +349,7 @@ cmdContracts(const std::string &duv, const CliOptions &o)
     }
     std::printf("%s\n", ct::renderContracts(db).c_str());
     std::printf("%s\n", report::renderFig8Matrix(db).c_str());
+    snapshotPool(hx, synth.pool());
     return 0;
 }
 
@@ -272,6 +367,7 @@ cmdBugs(const std::string &duv, const CliOptions &o)
     for (uhb::PlId p = 0; p < hx.numPls(); p++)
         if (!reach[p])
             std::printf("  UNREACHABLE: %s\n", hx.plName(p).c_str());
+    snapshotPool(hx, synth.pool());
     return 0;
 }
 
@@ -319,32 +415,85 @@ cmdLint(const std::string &duv, const CliOptions &o)
     return errors ? 1 : 0;
 }
 
-} // namespace
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: rmp "
-                             "list|upaths|leakage|contracts|bugs|lint ...\n");
-        return 1;
-    }
+    if (argc < 2)
+        usageError("missing command%s", "");
     std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        usage(stdout);
+        return 0;
+    }
     if (cmd == "list") {
         std::printf("tiny3 tiny3-zs mcva mcva-mul mcva-op mcva-fixed "
                     "mcva-scbbug dcache\n");
         return 0;
     }
-    if (cmd == "upaths" && argc >= 4)
-        return cmdUpaths(argv[2], argv[3], parseOptions(argc, argv, 4));
-    if (cmd == "leakage" && argc >= 4)
-        return cmdLeakage(argv[2], argv[3], parseOptions(argc, argv, 4));
-    if (cmd == "contracts" && argc >= 3)
-        return cmdContracts(argv[2], parseOptions(argc, argv, 3));
-    if (cmd == "bugs" && argc >= 3)
-        return cmdBugs(argv[2], parseOptions(argc, argv, 3));
-    if (cmd == "lint" && argc >= 3)
-        return cmdLint(argv[2], parseOptions(argc, argv, 3));
-    std::fprintf(stderr, "bad command line; see the header comment\n");
-    return 1;
+
+    // Positional-argument count per command; options follow.
+    int npos;
+    if (cmd == "upaths" || cmd == "leakage")
+        npos = 2;
+    else if (cmd == "synth" || cmd == "contracts" || cmd == "bugs" ||
+             cmd == "lint")
+        npos = 1;
+    else
+        usageError("unknown command '%s'", cmd.c_str());
+    if (argc < 2 + npos)
+        usageError("command '%s' is missing arguments", cmd.c_str());
+    CliOptions o = parseOptions(argc, argv, 2 + npos);
+
+    // Observability setup: --trace and --stats both record through the
+    // global switch; --progress installs the stderr status line. The
+    // sink lives to end of main — synthesis layers only touch it inside
+    // progress() calls, which stop before the commands return.
+    obs::StderrProgress progressSink;
+    if (!o.traceFile.empty() || o.stats)
+        obs::setEnabled(true);
+    if (o.progress)
+        obs::setProgressSink(&progressSink);
+
+    auto t0 = std::chrono::steady_clock::now();
+    int rc;
+    if (cmd == "synth")
+        rc = cmdSynth(argv[2], o);
+    else if (cmd == "upaths")
+        rc = cmdUpaths(argv[2], argv[3], o);
+    else if (cmd == "leakage")
+        rc = cmdLeakage(argv[2], argv[3], o);
+    else if (cmd == "contracts")
+        rc = cmdContracts(argv[2], o);
+    else if (cmd == "bugs")
+        rc = cmdBugs(argv[2], o);
+    else
+        rc = cmdLint(argv[2], o);
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    obs::setProgressSink(nullptr);
+    if (!o.traceFile.empty()) {
+        if (obs::exportChromeTrace(o.traceFile))
+            std::fprintf(stderr, "wrote %s (%zu events)\n",
+                         o.traceFile.c_str(), obs::eventCount());
+        else {
+            std::fprintf(stderr, "rmp: cannot write trace to %s\n",
+                         o.traceFile.c_str());
+            rc = rc ? rc : 1;
+        }
+    }
+    if (o.stats) {
+        if (o.json)
+            std::printf("%s\n",
+                        report::runSummaryJson("rmp-" + cmd, g_design, wall,
+                                               g_havePool ? &g_pool
+                                                          : nullptr)
+                            .c_str());
+        else
+            std::printf("\n%s", report::renderObsStats().c_str());
+    }
+    return rc;
 }
