@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cost of the verdict-audit layer (DESIGN.md §3g).
+ *
+ * --check-verdicts=all makes every solver verdict carry its own
+ * evidence: reachable covers replay their witness through the RTL
+ * interpreter, unsat frames are closed by the forward DRAT checker.
+ * This bench quantifies what that audit costs on the tiny3 full-ISA
+ * synthesis workload and asserts its two contracts:
+ *
+ *  1. The audit is a pure observer — the synthesized μPATHs and
+ *     decisions render byte-identically with auditing on and off.
+ *  2. Zero mismatches on a healthy build — every verdict is supported
+ *     by its own evidence.
+ *
+ * Writes BENCH_audit_overhead.json; exits non-zero on any mismatch,
+ * on divergent output, or if no verdict was actually audited.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.hh"
+#include "designs/tiny3.hh"
+
+using namespace rmp;
+using namespace rmp::bench;
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct SynthRun
+{
+    double wall = 0;          ///< seconds for synthesizeAll
+    std::string rendered;     ///< all paths + decisions, render order fixed
+    exec::PoolStats stats;
+};
+
+/** One full tiny3 synthesis (all instructions), fresh state. */
+SynthRun
+synthOnce(bool audited)
+{
+    designs::Harness hx(designs::buildTiny3());
+    r2m::SynthesisConfig cfg = benchSynthConfig();
+    cfg.auditReplay = audited;
+    cfg.auditProof = audited;
+    r2m::MuPathSynthesizer synth(hx, cfg);
+    std::vector<uhb::InstrId> ids;
+    for (const auto &ins : hx.duv().instrs)
+        ids.push_back(hx.duv().instrId(ins.name));
+
+    SynthRun r;
+    double t0 = nowSeconds();
+    auto all = synth.synthesizeAll(ids);
+    r.wall = nowSeconds() - t0;
+    for (uhb::InstrId id : ids) {
+        r.rendered += report::renderInstrPaths(hx, all.at(id));
+        r.rendered += report::renderDecisions(hx, all.at(id));
+    }
+    r.stats = synth.pool().stats();
+    return r;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("bench_audit_overhead: trust-but-verify verdict audit tax");
+    const unsigned repeats = fullMode() ? 5 : 3;
+
+    SynthRun plain, audited;
+    plain.wall = audited.wall = 1e300;
+    for (unsigned r = 0; r < repeats; r++) {
+        SynthRun p = synthOnce(false);
+        if (p.wall < plain.wall)
+            plain = std::move(p);
+        SynthRun a = synthOnce(true);
+        if (a.wall < audited.wall)
+            audited = std::move(a);
+    }
+
+    uint64_t replayed = audited.stats.engine.auditReplayed;
+    uint64_t proofChecked = audited.stats.engine.auditProofChecked;
+    uint64_t mismatches = audited.stats.engine.auditMismatches;
+    bool identical = plain.rendered == audited.rendered;
+    double overhead_pct =
+        plain.wall > 0 ? 100.0 * (audited.wall - plain.wall) / plain.wall
+                       : 0.0;
+
+    std::printf("  unaudited wall (min of %u): %.3f s\n", repeats,
+                plain.wall);
+    std::printf("  audited   wall (min of %u): %.3f s  (%+.1f%%)\n", repeats,
+                audited.wall, overhead_pct);
+    std::printf("  witness replays:            %llu\n",
+                static_cast<unsigned long long>(replayed));
+    std::printf("  DRAT-closed unsat frames:   %llu\n",
+                static_cast<unsigned long long>(proofChecked));
+    std::printf("  mismatches:                 %llu\n",
+                static_cast<unsigned long long>(mismatches));
+    std::printf("  outputs byte-identical:     %s\n",
+                identical ? "yes" : "NO");
+
+    bool audited_something = replayed > 0 && proofChecked > 0;
+    bool pass = identical && mismatches == 0 && audited_something;
+    paperNote("verification results must be trustworthy evidence",
+              pass ? "every verdict supported by replay or DRAT proof"
+                   : "verdict audit FAILED");
+
+    JsonReport out;
+    out.put("bench", std::string("audit_overhead"));
+    out.put("duv", std::string("tiny3"));
+    out.put("repeats", static_cast<uint64_t>(repeats));
+    out.put("unaudited_wall_seconds", plain.wall);
+    out.put("audited_wall_seconds", audited.wall);
+    out.put("audit_overhead_pct", overhead_pct);
+    out.put("audit_replayed", replayed);
+    out.put("audit_proof_checked", proofChecked);
+    out.put("audit_mismatches", mismatches);
+    out.put("outputs_identical", static_cast<uint64_t>(identical));
+    out.put("pass", static_cast<uint64_t>(pass));
+    out.writeFile("BENCH_audit_overhead.json");
+    std::printf("wrote BENCH_audit_overhead.json\n");
+    return pass ? 0 : 1;
+}

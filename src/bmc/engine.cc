@@ -28,7 +28,7 @@ Engine::Engine(const Design &design, const EngineConfig &config)
     if (!cfg.coiPruning) {
         full_ = std::make_unique<Ctx>(
             d, std::vector<uint8_t>{},
-            static_cast<uint32_t>(d.numCells()));
+            static_cast<uint32_t>(d.numCells()), cfg.auditProof);
         full_->unrolling.ensureFrames(cfg.bound - 1);
         coi_.conesBuilt = 1;
     }
@@ -49,7 +49,7 @@ Engine::ctxFor(const prop::ExprRef &seq,
     if (it == cones_.end()) {
         auto ctx = std::make_unique<Ctx>(
             d, std::move(cone.inCone),
-            static_cast<uint32_t>(cone.size()));
+            static_cast<uint32_t>(cone.size()), cfg.auditProof);
         ctx->unrolling.ensureFrames(cfg.bound - 1);
         it = cones_.emplace(cone.fingerprint, std::move(ctx)).first;
         coi_.conesBuilt++;
@@ -199,10 +199,28 @@ Engine::run(const prop::ExprRef &seq,
         switch (sres) {
           case sat::SatResult::Sat:
             res.outcome = Outcome::Reachable;
-            res.witness = extractWitness(ctx, seq, assumes);
+            res.witness = extractWitness(ctx, seq, assumes, &res.audit);
             break;
           case sat::SatResult::Unsat:
             res.outcome = Outcome::Unreachable;
+            // Trust-but-verify: close this unsat frame against the
+            // solver's DRAT trace. ok() guards the additions (every
+            // learned clause was RUP when derived); checkUnsat() confirms
+            // clauses + this query's assumption units propagate to a
+            // conflict.
+            if (ctx.drat) {
+                res.audit.proofChecked = true;
+                if (!ctx.drat->ok()) {
+                    res.audit.mismatch = true;
+                    res.audit.detail = "DRAT audit: " +
+                                       ctx.drat->firstFailure();
+                } else if (!ctx.drat->checkUnsat(assumptions)) {
+                    res.audit.mismatch = true;
+                    res.audit.detail =
+                        "DRAT audit: unsat verdict not closed by unit "
+                        "propagation over the logged clause set";
+                }
+            }
             break;
           case sat::SatResult::Undetermined:
             res.outcome = Outcome::Undetermined;
@@ -225,6 +243,15 @@ Engine::run(const prop::ExprRef &seq,
       case Outcome::Unreachable: stats_.unreachable++; break;
       case Outcome::Undetermined: stats_.undetermined++; break;
     }
+    if (res.audit.replayed)
+        stats_.auditReplayed++;
+    if (res.audit.proofChecked)
+        stats_.auditProofChecked++;
+    if (res.audit.mismatch) {
+        stats_.auditMismatches++;
+        warn(strfmt("verdict audit mismatch (%s query): %s",
+                    outcomeName(res.outcome), res.audit.detail.c_str()));
+    }
     if (span.active()) {
         span.arg("outcome", static_cast<uint64_t>(res.outcome));
         span.arg("coi_cells", res.coiCells);
@@ -242,6 +269,12 @@ Engine::run(const prop::ExprRef &seq,
         reg.gauge("bmc.cnf_clauses")
             .set(static_cast<int64_t>(ctx.solver.numClauses()));
         reg.gauge("bmc.sat_vars").set(static_cast<int64_t>(res.satVars));
+        if (res.audit.replayed)
+            reg.counter("audit.replayed").add(1);
+        if (res.audit.proofChecked)
+            reg.counter("audit.proof_checked").add(1);
+        if (res.audit.mismatch)
+            reg.counter("audit.mismatch").add(1);
     }
     return res;
 }
@@ -281,9 +314,40 @@ Engine::satStats() const
     return s;
 }
 
+ReplayCheck
+replayWitness(const Design &design, const std::vector<InputMap> &inputs,
+              const prop::ExprRef &seq,
+              const std::vector<prop::ExprRef> &assumes, unsigned bound)
+{
+    ReplayCheck rc;
+    Simulator sim(design);
+    for (unsigned t = 0; t < bound && t < inputs.size(); t++)
+        sim.step(inputs[t]);
+    rc.trace = sim.trace();
+    for (unsigned t = 0; t < bound && !rc.matched; t++) {
+        if (prop::evalOnTrace(seq, rc.trace, t)) {
+            rc.matched = true;
+            rc.matchFrame = t;
+        }
+    }
+    for (const auto &a : assumes) {
+        unsigned last = bound > a->depth() ? bound - a->depth() : 1;
+        for (unsigned t = 0; t < last && rc.assumesHold; t++) {
+            if (!prop::evalOnTrace(a, rc.trace, t)) {
+                rc.assumesHold = false;
+                rc.failCycle = t;
+            }
+        }
+        if (!rc.assumesHold)
+            break;
+    }
+    return rc;
+}
+
 Witness
 Engine::extractWitness(Ctx &ctx, const prop::ExprRef &seq,
-                       const std::vector<prop::ExprRef> &assumes)
+                       const std::vector<prop::ExprRef> &assumes,
+                       VerdictAudit *audit)
 {
     obs::Span span("witness-extract", "bmc");
     if (span.active()) {
@@ -310,29 +374,33 @@ Engine::extractWitness(Ctx &ctx, const prop::ExprRef &seq,
             w.inputs[t][in] = val;
         }
     }
-    if (cfg.validateWitnesses) {
+    if (cfg.validateWitnesses || cfg.auditReplay) {
         // Independent soundness cross-check: replay on the simulator and
         // confirm the sequence matches and all assumes hold.
-        Simulator sim(d);
-        for (unsigned t = 0; t < cfg.bound; t++)
-            sim.step(w.inputs[t]);
-        const SimTrace &tr = sim.trace();
-        bool matched = false;
-        for (unsigned t = 0; t < cfg.bound && !matched; t++) {
-            if (prop::evalOnTrace(seq, tr, t)) {
-                matched = true;
-                w.matchFrame = t;
+        ReplayCheck rc = replayWitness(d, w.inputs, seq, assumes, cfg.bound);
+        if (cfg.auditReplay && audit) {
+            // Audit mode records the mismatch for the caller to report
+            // and quarantine; hard-asserting here would take down a whole
+            // synthesis run on the first solver defect found.
+            audit->replayed = true;
+            if (!rc.ok()) {
+                audit->mismatch = true;
+                audit->detail =
+                    !rc.matched
+                        ? "witness replay: cover did not match on the "
+                          "simulator"
+                        : strfmt("witness replay: assume violated at "
+                                 "cycle %u",
+                                 rc.failCycle);
             }
+        } else {
+            rmp_assert(rc.matched, "witness replay: cover did not match");
+            rmp_assert(rc.assumesHold,
+                       "witness replay: assume violated at cycle %u",
+                       rc.failCycle);
         }
-        rmp_assert(matched, "witness replay: cover did not match");
-        for (const auto &a : assumes) {
-            unsigned last =
-                cfg.bound > a->depth() ? cfg.bound - a->depth() : 1;
-            for (unsigned t = 0; t < last; t++)
-                rmp_assert(prop::evalOnTrace(a, tr, t),
-                           "witness replay: assume violated at cycle %u", t);
-        }
-        w.trace = tr;
+        w.matchFrame = rc.matchFrame;
+        w.trace = std::move(rc.trace);
     }
     return w;
 }

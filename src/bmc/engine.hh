@@ -39,6 +39,7 @@
 #include "analysis/coi.hh"
 #include "bmc/unroll.hh"
 #include "prop/property.hh"
+#include "sat/drat.hh"
 #include "sat/solver.hh"
 #include "sim/simulator.hh"
 
@@ -49,6 +50,37 @@ namespace rmp::bmc
 enum class Outcome : uint8_t { Reachable, Unreachable, Undetermined };
 
 const char *outcomeName(Outcome o);
+
+/** Verdict of replayWitness(). */
+struct ReplayCheck
+{
+    /** The covered sequence fired on the replayed trace. */
+    bool matched = false;
+    /** First frame at which it fired (valid iff matched). */
+    unsigned matchFrame = 0;
+    /** Every assume held at every constrained cycle. */
+    bool assumesHold = true;
+    /** First cycle at which an assume failed (valid iff !assumesHold). */
+    unsigned failCycle = 0;
+    /** The replayed trace (all signals, all cycles). */
+    SimTrace trace;
+
+    bool ok() const { return matched && assumesHold; }
+};
+
+/**
+ * Replay @p inputs cycle by cycle through a fresh rtlir simulator and
+ * report whether @p seq fires within [0, bound) and every assume in
+ * @p assumes holds at each cycle it constrains. This is the witness
+ * oracle: it shares no code with the unroller/solver path that produced
+ * the witness, which is what makes the cross-check meaningful. Also used
+ * directly by the seeded-defect audit tests.
+ */
+ReplayCheck replayWitness(const Design &design,
+                          const std::vector<InputMap> &inputs,
+                          const prop::ExprRef &seq,
+                          const std::vector<prop::ExprRef> &assumes,
+                          unsigned bound);
 
 /** A concrete witness for a Reachable cover. */
 struct Witness
@@ -61,12 +93,33 @@ struct Witness
     SimTrace trace;
 };
 
+/**
+ * Outcome of auditing one verdict (EngineConfig::auditReplay /
+ * auditProof). A mismatch means the evidence did NOT support the verdict
+ * — a solver or engine defect, never a property of the design — and is
+ * recorded rather than asserted so the caller (exec::EnginePool, the
+ * CLI) can fail loudly with context and keep the poisoned result out of
+ * the query cache.
+ */
+struct VerdictAudit
+{
+    /** Witness was replayed through the rtlir simulator. */
+    bool replayed = false;
+    /** Unsat verdict was closed against the DRAT trace. */
+    bool proofChecked = false;
+    /** The evidence contradicted the verdict. */
+    bool mismatch = false;
+    /** Human-readable description of the mismatch ("" if none). */
+    std::string detail;
+};
+
 /** Result of one cover query. */
 struct CoverResult
 {
     Outcome outcome = Outcome::Undetermined;
     Witness witness; ///< valid iff outcome == Reachable
     double seconds = 0.0;
+    VerdictAudit audit; ///< populated when verdict auditing is on
 
     /** @name Instance-size statistics (0 on cache hits)
      * Size of the unrolled instance that answered this query, after the
@@ -100,6 +153,25 @@ struct EngineConfig
      * deterministic and jobs-invariant.
      */
     bool coiPruning = false;
+    /**
+     * Audit Reachable verdicts: decode the SAT witness into per-cycle
+     * input stimulus, replay it through the rtlir simulator, and record
+     * (not assert) a mismatch if the cover fails to fire or an assume is
+     * violated. Unlike validateWitnesses — which hard-asserts — audit
+     * mismatches surface through CoverResult::audit so callers can
+     * report them and quarantine the result (DESIGN.md §3g).
+     */
+    bool auditReplay = false;
+    /**
+     * Audit Unreachable verdicts: attach a sat::DratChecker to each
+     * instance's solver (RUP-checking every learned clause as it is
+     * derived) and close each unsat frame with
+     * DratChecker::checkUnsat(assumptions). Verdicts that never reach
+     * the solver (vacuous assumes, constant-false cover literals) are
+     * discharged by AIG constant folding, which stays in the trusted
+     * base — they are counted as neither checked nor mismatched.
+     */
+    bool auditProof = false;
 };
 
 /** Aggregate query statistics (reported by bench_perf_properties). */
@@ -110,6 +182,12 @@ struct EngineStats
     uint64_t unreachable = 0;
     uint64_t undetermined = 0;
     double totalSeconds = 0.0;
+    /** @name Verdict-audit tallies (zero unless auditing is on) */
+    /// @{
+    uint64_t auditReplayed = 0;
+    uint64_t auditProofChecked = 0;
+    uint64_t auditMismatches = 0;
+    /// @}
 };
 
 /** COI statistics (reported through src/report and BENCH_static_coi). */
@@ -182,14 +260,22 @@ class Engine
     {
         Unrolling unrolling;
         sat::Solver solver;
+        /** Live proof checker (auditProof only); attached to the solver
+         *  before the first clause so the trace covers the formula. */
+        std::unique_ptr<sat::DratChecker> drat;
         /** AIG node -> SAT var (-1 = not yet encoded). */
         std::vector<int32_t> nodeVar;
         /** Cells this instance materializes. */
         uint32_t cells = 0;
 
-        Ctx(const Design &dd, std::vector<uint8_t> mask, uint32_t n)
+        Ctx(const Design &dd, std::vector<uint8_t> mask, uint32_t n,
+            bool audit_proof)
             : unrolling(dd, std::move(mask)), cells(n)
         {
+            if (audit_proof) {
+                drat = std::make_unique<sat::DratChecker>();
+                solver.setProofSink(drat.get());
+            }
         }
     };
 
@@ -205,7 +291,8 @@ class Engine
     sat::Lit satLit(Ctx &ctx, AigLit lit);
 
     Witness extractWitness(Ctx &ctx, const prop::ExprRef &seq,
-                           const std::vector<prop::ExprRef> &assumes);
+                           const std::vector<prop::ExprRef> &assumes,
+                           VerdictAudit *audit);
 
     const Design &d;
     EngineConfig cfg;

@@ -53,8 +53,20 @@ EnginePool::laneEngine(unsigned lane)
 
 bmc::CoverResult
 EnginePool::runOnLane(unsigned lane, const Query &q, const QueryKey &key,
-                      uint64_t submit_ns)
+                      const std::string &keyBytes, uint64_t submit_ns)
 {
+    // A verdict that failed its audit (witness replay or DRAT closure
+    // contradicted the solver) is quarantined: returned to the caller
+    // with audit.mismatch set, loudly flagged, and kept OUT of the query
+    // cache so a poisoned verdict can never be served as a future hit.
+    auto publish = [&](const bmc::CoverResult &r) {
+        if (r.audit.mismatch)
+            warn(strfmt("lane %u: audited verdict quarantined (not "
+                        "cached): %s",
+                        lane, r.audit.detail.c_str()));
+        else
+            cache_.put(key, keyBytes, r);
+    };
     if (!obs::enabled()) {
         bmc::Engine &eng = laneEngine(lane);
         bmc::CoverResult r =
@@ -62,7 +74,7 @@ EnginePool::runOnLane(unsigned lane, const Query &q, const QueryKey &key,
                 ? eng.coverAt(q.seq, q.assumes,
                               static_cast<unsigned>(q.fixedFrame))
                 : eng.cover(q.seq, q.assumes);
-        cache_.put(key, r);
+        publish(r);
         return r;
     }
     // Route everything this query records — the lane span and the nested
@@ -86,7 +98,7 @@ EnginePool::runOnLane(unsigned lane, const Query &q, const QueryKey &key,
             ? eng.coverAt(q.seq, q.assumes,
                           static_cast<unsigned>(q.fixedFrame))
             : eng.cover(q.seq, q.assumes);
-    cache_.put(key, r);
+    publish(r);
     span.arg("outcome", static_cast<uint64_t>(r.outcome));
     obs::Labels lane_label{{"lane", std::to_string(lane)}};
     reg.counter("exec.lane_tasks", lane_label).add(1);
@@ -165,13 +177,16 @@ EnginePool::coneFp(const Query &q)
 bmc::CoverResult
 EnginePool::eval(const Query &q)
 {
+    uint64_t cone_fp = coneFp(q);
     QueryKey key = makeQueryKey(designFp, engCfg, q.seq, q.assumes,
-                                q.fixedFrame, coneFp(q));
+                                q.fixedFrame, cone_fp);
+    std::string bytes = makeQueryKeyBytes(designFp, engCfg, q.seq, q.assumes,
+                                          q.fixedFrame, cone_fp);
     CachedResult hit;
-    if (cache_.get(key, &hit))
+    if (cache_.get(key, bytes, &hit))
         return expandResult(hit, d);
     unsigned lane = static_cast<unsigned>(nextLane++ % lanes_.size());
-    return runOnLane(lane, q, key);
+    return runOnLane(lane, q, key, bytes);
 }
 
 std::vector<bmc::CoverResult>
@@ -183,24 +198,30 @@ EnginePool::evalBatch(const std::vector<Query> &qs)
     // Serial pass on the submitting thread: cache decisions and lane
     // assignment happen in deterministic submission order.
     std::vector<Unit> units;
-    std::map<std::pair<uint64_t, uint64_t>, size_t> firstUnit;
+    std::map<std::string, size_t> firstUnit;
     for (size_t i = 0; i < qs.size(); i++) {
+        uint64_t cone_fp = coneFp(qs[i]);
         QueryKey key = makeQueryKey(designFp, engCfg, qs[i].seq,
                                     qs[i].assumes, qs[i].fixedFrame,
-                                    coneFp(qs[i]));
+                                    cone_fp);
+        std::string bytes =
+            makeQueryKeyBytes(designFp, engCfg, qs[i].seq, qs[i].assumes,
+                              qs[i].fixedFrame, cone_fp);
         CachedResult hit;
-        if (cache_.get(key, &hit)) {
+        if (cache_.get(key, bytes, &hit)) {
             results[i] = expandResult(hit, d);
             continue;
         }
-        auto [it, fresh] =
-            firstUnit.try_emplace({key.lo, key.hi}, units.size());
+        // In-batch dedup keys on the canonical bytes, not the digest, so
+        // a digest collision within one batch cannot alias two queries.
+        auto [it, fresh] = firstUnit.try_emplace(bytes, units.size());
         if (!fresh) {
             units[it->second].aliases.push_back(i);
             continue;
         }
         Unit u;
         u.key = key;
+        u.keyBytes = std::move(bytes);
         u.q = &qs[i];
         u.primary = i;
         u.lane = static_cast<unsigned>(nextLane++ % lanes_.size());
@@ -220,20 +241,26 @@ EnginePool::evalBatch(const std::vector<Query> &qs)
             continue;
         tasks.push_back([this, &results, lane_units, submit_ns] {
             for (Unit *u : lane_units)
-                results[u->primary] =
-                    runOnLane(u->lane, *u->q, u->key, submit_ns);
+                results[u->primary] = runOnLane(u->lane, *u->q, u->key,
+                                                u->keyBytes, submit_ns);
         });
     }
     runTasks(std::move(tasks));
 
     // Serve in-batch duplicates from the now-published entries (counted
-    // as cache hits: they never touched a solver).
+    // as cache hits: they never touched a solver). A quarantined result
+    // (audit mismatch) was deliberately never published — duplicates of
+    // it copy the primary's flagged result instead.
     for (const Unit &u : units) {
         for (size_t i : u.aliases) {
             CachedResult hit;
-            bool ok = cache_.get(u.key, &hit);
-            rmp_assert(ok, "batch duplicate missing from cache");
-            results[i] = expandResult(hit, d);
+            if (cache_.get(u.key, u.keyBytes, &hit)) {
+                results[i] = expandResult(hit, d);
+            } else {
+                rmp_assert(results[u.primary].audit.mismatch,
+                           "batch duplicate missing from cache");
+                results[i] = results[u.primary];
+            }
         }
     }
     return results;
@@ -275,6 +302,9 @@ EnginePool::stats() const
         s.engine.unreachable += e.unreachable;
         s.engine.undetermined += e.undetermined;
         s.engine.totalSeconds += e.totalSeconds;
+        s.engine.auditReplayed += e.auditReplayed;
+        s.engine.auditProofChecked += e.auditProofChecked;
+        s.engine.auditMismatches += e.auditMismatches;
         const sat::SatStats st = l.eng->satStats();
         s.sat.conflicts += st.conflicts;
         s.sat.decisions += st.decisions;

@@ -135,6 +135,7 @@ class EnginePool
     struct Unit
     {
         QueryKey key;
+        std::string keyBytes;
         const Query *q = nullptr;
         size_t primary = 0;           ///< result slot filled by the solver
         std::vector<size_t> aliases;  ///< duplicate slots (served as hits)
@@ -145,7 +146,9 @@ class EnginePool
     /** @p submit_ns: submission timestamp for queue-wait attribution
      *  (0 = not queued, e.g. the synchronous eval() path). */
     bmc::CoverResult runOnLane(unsigned lane, const Query &q,
-                               const QueryKey &key, uint64_t submit_ns = 0);
+                               const QueryKey &key,
+                               const std::string &keyBytes,
+                               uint64_t submit_ns = 0);
     void runTasks(std::vector<std::function<void()>> tasks);
     void workerLoop();
 

@@ -58,6 +58,43 @@ makeQueryKey(uint64_t design_fp, const bmc::EngineConfig &cfg,
     return k;
 }
 
+std::string
+makeQueryKeyBytes(uint64_t design_fp, const bmc::EngineConfig &cfg,
+                  const prop::ExprRef &seq,
+                  const std::vector<prop::ExprRef> &assumes, int fixed_frame,
+                  uint64_t coi_fp)
+{
+    // Scalar fields in decimal, '|'-separated; expression serializations
+    // use only "(),A-G" and digits, so '|' is an unambiguous delimiter.
+    std::string s;
+    s += std::to_string(design_fp);
+    s.push_back('|');
+    s += std::to_string(cfg.bound);
+    s.push_back('|');
+    s += std::to_string(cfg.budget.maxConflicts);
+    s.push_back('|');
+    s += std::to_string(cfg.budget.maxPropagations);
+    s.push_back('|');
+    s += std::to_string(static_cast<int>(cfg.validateWitnesses));
+    s.push_back('|');
+    s += std::to_string(fixed_frame);
+    s.push_back('|');
+    s += std::to_string(coi_fp);
+    s.push_back('|');
+    prop::serializeExpr(seq, &s);
+    // Sorted, like the key's assume-hash multiset: conjunction order
+    // must not change the bytes either.
+    std::vector<std::string> ab(assumes.size());
+    for (size_t i = 0; i < assumes.size(); i++)
+        prop::serializeExpr(assumes[i], &ab[i]);
+    std::sort(ab.begin(), ab.end());
+    for (const std::string &a : ab) {
+        s.push_back('|');
+        s += a;
+    }
+    return s;
+}
+
 uint64_t
 designFingerprint(const Design &d)
 {
@@ -120,35 +157,65 @@ QueryCache::QueryCache()
 QueryCache::QueryCache(const obs::Labels &labels)
     : hits_(obs::Registry::global().counter("exec.cache.hits", labels)),
       misses_(obs::Registry::global().counter("exec.cache.misses", labels)),
-      entries_(obs::Registry::global().counter("exec.cache.entries", labels))
+      entries_(obs::Registry::global().counter("exec.cache.entries", labels)),
+      collisions_(
+          obs::Registry::global().counter("exec.cache.collisions", labels))
 {
 }
 
 bool
-QueryCache::get(const QueryKey &key, CachedResult *out)
+QueryCache::get(const QueryKey &key, const std::string &keyBytes,
+                CachedResult *out)
 {
-    bool hit;
+    bool hit = false;
+    bool collided = false;
     {
         std::lock_guard<std::mutex> lock(mu);
         auto it = map.find(key);
-        hit = it != map.end();
-        if (hit)
-            *out = it->second;
+        if (it != map.end()) {
+            for (const Entry &e : it->second) {
+                if (e.keyBytes == keyBytes) {
+                    *out = e.res;
+                    hit = true;
+                    break;
+                }
+            }
+            // Digest matched but no entry's bytes did: a genuine 128-bit
+            // collision, served as a miss instead of a wrong verdict.
+            collided = !hit;
+        }
     }
     (hit ? hits_ : misses_).add(1);
+    if (collided)
+        collisions_.add(1);
     return hit;
 }
 
 void
-QueryCache::put(const QueryKey &key, const bmc::CoverResult &result)
+QueryCache::put(const QueryKey &key, const std::string &keyBytes,
+                const bmc::CoverResult &result)
 {
-    bool inserted;
+    bool inserted = false;
+    bool collided = false;
     {
         std::lock_guard<std::mutex> lock(mu);
-        inserted = map.emplace(key, compressResult(result)).second;
+        std::vector<Entry> &bucket = map[key];
+        bool present = false;
+        for (const Entry &e : bucket)
+            if (e.keyBytes == keyBytes) {
+                present = true;
+                break;
+            }
+        if (!present) {
+            collided = !bucket.empty();
+            bucket.push_back(Entry{keyBytes, compressResult(result)});
+            inserted = true;
+        }
     }
     if (inserted)
         entries_.add(1);
+    if (collided)
+        collisions_.add(1);
 }
 
 CacheStats
@@ -158,6 +225,7 @@ QueryCache::stats() const
     s.hits = hits_.value();
     s.misses = misses_.value();
     s.entries = entries_.value();
+    s.collisions = collisions_.value();
     return s;
 }
 

@@ -71,6 +71,23 @@ QueryKey makeQueryKey(uint64_t design_fp, const bmc::EngineConfig &cfg,
                       const std::vector<prop::ExprRef> &assumes,
                       int fixed_frame, uint64_t coi_fp = 0);
 
+/**
+ * Canonical byte serialization of the same semantic inputs makeQueryKey
+ * digests. The 128-bit QueryKey is itself a hash, so two distinct
+ * queries CAN collide on it — astronomically unlikely, but a silent
+ * collision would alias one query's verdict to another, the worst
+ * possible cache failure. The cache therefore stores these bytes
+ * alongside each entry and compares them on lookup: a digest collision
+ * degrades to a counted miss (`exec.cache.collisions`) instead of a
+ * wrong verdict. Assume serializations are sorted before joining,
+ * mirroring the key's order-insensitive conjunction hashing.
+ */
+std::string makeQueryKeyBytes(uint64_t design_fp,
+                              const bmc::EngineConfig &cfg,
+                              const prop::ExprRef &seq,
+                              const std::vector<prop::ExprRef> &assumes,
+                              int fixed_frame, uint64_t coi_fp = 0);
+
 /** Structural fingerprint of a Design (cells, widths, connectivity). */
 uint64_t designFingerprint(const Design &d);
 
@@ -86,6 +103,8 @@ struct CacheStats
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t entries = 0;
+    /** Digest collisions caught by the canonical-bytes comparison. */
+    uint64_t collisions = 0;
 };
 
 /**
@@ -111,36 +130,54 @@ CachedResult compressResult(const bmc::CoverResult &r);
 bmc::CoverResult expandResult(const CachedResult &c, const Design &d);
 
 /**
- * Thread-safe memoization table: QueryKey -> CachedResult.
+ * Thread-safe memoization table: QueryKey -> CachedResult, with the
+ * query's canonical bytes (makeQueryKeyBytes) stored per entry and
+ * compared on every lookup, so a 128-bit digest collision is detected
+ * (and counted) rather than silently aliasing one query's verdict to
+ * another. Colliding queries coexist in one digest bucket.
  *
  * get()/put() are individually locked; the EnginePool performs all get()
  * calls on the submitting thread (deterministic order) and put() calls
  * from workers, so a result is published exactly once per key. The
- * hit/miss/entry counters are lock-free obs::Counter handles owned by
- * the global metrics registry (labeled per cache instance), updated
- * outside the map mutex.
+ * hit/miss/entry/collision counters are lock-free obs::Counter handles
+ * owned by the global metrics registry (labeled per cache instance),
+ * updated outside the map mutex.
  */
 class QueryCache
 {
   public:
     QueryCache();
 
-    /** Look up @p key; returns true and fills @p out on a hit. */
-    bool get(const QueryKey &key, CachedResult *out);
+    /**
+     * Look up @p key; returns true and fills @p out on a hit. A hit
+     * additionally requires @p keyBytes to match the stored entry's
+     * canonical bytes.
+     */
+    bool get(const QueryKey &key, const std::string &keyBytes,
+             CachedResult *out);
 
     /** Publish the result of a completed query. */
-    void put(const QueryKey &key, const bmc::CoverResult &result);
+    void put(const QueryKey &key, const std::string &keyBytes,
+             const bmc::CoverResult &result);
 
     CacheStats stats() const;
 
   private:
     explicit QueryCache(const obs::Labels &labels);
 
+    /** Entries sharing one 128-bit digest (almost always exactly one). */
+    struct Entry
+    {
+        std::string keyBytes;
+        CachedResult res;
+    };
+
     mutable std::mutex mu;
-    std::unordered_map<QueryKey, CachedResult, QueryKeyHash> map;
+    std::unordered_map<QueryKey, std::vector<Entry>, QueryKeyHash> map;
     obs::Counter &hits_;
     obs::Counter &misses_;
     obs::Counter &entries_;
+    obs::Counter &collisions_;
 };
 
 } // namespace rmp::exec

@@ -178,6 +178,29 @@ hashRec(const Expr *e, uint64_t seed,
     return h;
 }
 
+const std::string &
+serializeRec(const Expr *e,
+             std::unordered_map<const Expr *, std::string> &memo)
+{
+    auto it = memo.find(e);
+    if (it != memo.end())
+        return it->second;
+    std::string s;
+    s.push_back('(');
+    s.push_back(static_cast<char>('A' + static_cast<int>(e->kind)));
+    s += std::to_string(e->sig);
+    s.push_back(',');
+    s += std::to_string(e->value);
+    s.push_back(',');
+    s += std::to_string(e->delay);
+    if (e->a)
+        s += serializeRec(e->a.get(), memo);
+    if (e->b)
+        s += serializeRec(e->b.get(), memo);
+    s.push_back(')');
+    return memo.emplace(e, std::move(s)).first->second;
+}
+
 } // anonymous namespace
 
 uint64_t
@@ -185,6 +208,13 @@ exprHash(const ExprRef &e, uint64_t seed)
 {
     std::unordered_map<const Expr *, uint64_t> memo;
     return hashRec(e.get(), mix64(seed ^ 0xc2b2ae3d27d4eb4fULL), memo);
+}
+
+void
+serializeExpr(const ExprRef &e, std::string *out)
+{
+    std::unordered_map<const Expr *, std::string> memo;
+    *out += serializeRec(e.get(), memo);
 }
 
 void

@@ -83,6 +83,19 @@ ExprRef pDelay(ExprRef a, unsigned delay, ExprRef b);
 uint64_t exprHash(const ExprRef &e, uint64_t seed = 0);
 
 /**
+ * Append a canonical byte serialization of @p e to @p out: parenthesized
+ * prefix form over (kind, sig, value, delay, children), expanded as a
+ * *tree* so the bytes depend only on expression structure, never on how
+ * DAG nodes happen to be shared. Two expressions serialize identically
+ * iff they are structurally identical — unlike exprHash, with no
+ * collision probability — which is what exec::QueryCache stores to make
+ * digest collisions observable instead of silently aliasing verdicts.
+ * Shared subtrees serialize once (memoized) but are spliced per
+ * occurrence, so output size follows the expanded tree.
+ */
+void serializeExpr(const ExprRef &e, std::string *out);
+
+/**
  * Append the distinct signals referenced by @p e to @p out (shared
  * subtrees visited once; duplicates across calls are the caller's to
  * fold). This is the support set a COI-pruned BMC run grows its cone

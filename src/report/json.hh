@@ -123,6 +123,10 @@ poolStatsJson(const exec::PoolStats &s)
     j.put("cache_hits", s.cache.hits);
     j.put("cache_misses", s.cache.misses);
     j.put("cache_entries", s.cache.entries);
+    j.put("cache_collisions", s.cache.collisions);
+    j.put("audit_replayed", s.engine.auditReplayed);
+    j.put("audit_proof_checked", s.engine.auditProofChecked);
+    j.put("audit_mismatches", s.engine.auditMismatches);
     j.put("lanes_built", static_cast<uint64_t>(s.lanesBuilt));
     j.put("sat_conflicts", s.sat.conflicts);
     j.put("sat_decisions", s.sat.decisions);

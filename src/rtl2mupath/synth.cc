@@ -51,7 +51,8 @@ MuPathSynthesizer::MuPathSynthesizer(const designs::Harness &harness,
     : hx(harness), cfg(config),
       pool_(harness.design(),
             bmc::EngineConfig{harness.duv().completenessBound, config.budget,
-                              true, config.coiPruning},
+                              true, config.coiPruning, config.auditReplay,
+                              config.auditProof},
             exec::ExecConfig{config.jobs, config.lanes}),
       base(harness.baseAssumes())
 {

@@ -98,6 +98,12 @@ struct SynthesisConfig
      * measures the AIG/SAT-variable reduction.
      */
     bool coiPruning = false;
+    /** Audit Reachable verdicts by simulator witness replay
+     *  (bmc::EngineConfig::auditReplay). */
+    bool auditReplay = false;
+    /** Audit Unreachable verdicts against the solver's DRAT trace
+     *  (bmc::EngineConfig::auditProof). */
+    bool auditProof = false;
 };
 
 /** Statistics for one pipeline step (drives bench_perf_properties). */

@@ -14,12 +14,16 @@ parseDimacs(std::istream &in)
     Cnf cnf;
     std::string line;
     int expected_clauses = -1;
+    bool undeclared_warned = false;
     std::vector<Lit> cur;
+    bool open = false; ///< distinguishes "0\n" (empty clause) from no clause
     while (std::getline(in, line)) {
-        if (line.empty() || line[0] == 'c')
+        // Tolerate leading whitespace before 'c'/'p' markers.
+        size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == 'c')
             continue;
-        if (line[0] == 'p') {
-            std::istringstream hs(line);
+        if (line[first] == 'p') {
+            std::istringstream hs(line.substr(first));
             std::string p, fmt;
             hs >> p >> fmt >> cnf.numVars >> expected_clauses;
             if (fmt != "cnf" || cnf.numVars < 0)
@@ -30,17 +34,32 @@ parseDimacs(std::istream &in)
         long v;
         while (ls >> v) {
             if (v == 0) {
+                // A bare terminator is a valid (empty) clause.
                 cnf.clauses.push_back(cur);
                 cur.clear();
+                open = false;
                 continue;
             }
+            open = true;
             long var = v < 0 ? -v : v;
-            if (var > cnf.numVars)
-                rmp_fatal("DIMACS literal %ld exceeds declared vars", v);
+            if (var > cnf.numVars) {
+                // Headers under-declaring the variable count are common
+                // in machine-generated files (and our own fuzz corpus);
+                // widen instead of bailing, but say so once.
+                if (!undeclared_warned) {
+                    warn(strfmt("DIMACS literal %ld exceeds declared %d"
+                                " vars; widening",
+                                v, cnf.numVars));
+                    undeclared_warned = true;
+                }
+                cnf.numVars = static_cast<int>(var);
+            }
             cur.push_back(Lit(static_cast<Var>(var - 1), v < 0));
         }
     }
-    if (!cur.empty())
+    // A final clause whose "0" (or trailing newline) is missing still
+    // counts — files truncated at the last byte round-trip losslessly.
+    if (open)
         cnf.clauses.push_back(cur);
     if (expected_clauses >= 0 &&
         cnf.clauses.size() != static_cast<size_t>(expected_clauses))

@@ -1,0 +1,388 @@
+#include "sat/drat.hh"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rmp::sat
+{
+
+std::string
+toDratText(const DratLog &log)
+{
+    std::ostringstream os;
+    for (const DratStep &s : log) {
+        if (s.kind == DratStep::Kind::Delete)
+            os << "d ";
+        for (Lit l : s.lits)
+            os << (l.sign() ? -(l.var() + 1) : l.var() + 1) << " ";
+        os << "0\n";
+    }
+    return os.str();
+}
+
+DratLog
+parseDratText(std::istream &in)
+{
+    DratLog log;
+    std::string tok;
+    DratStep cur;
+    bool open = false;
+    while (in >> tok) {
+        if (tok == "c") {
+            // Comment: skip to end of line.
+            std::string rest;
+            std::getline(in, rest);
+            continue;
+        }
+        if (tok == "d") {
+            if (open)
+                rmp_fatal("DRAT: 'd' inside an unterminated clause");
+            cur.kind = DratStep::Kind::Delete;
+            open = true;
+            continue;
+        }
+        long v = 0;
+        try {
+            v = std::stol(tok);
+        } catch (...) {
+            rmp_fatal("DRAT: bad token '%s'", tok.c_str());
+        }
+        if (v == 0) {
+            log.push_back(cur);
+            cur = DratStep{};
+            open = false;
+            continue;
+        }
+        long var = v < 0 ? -v : v;
+        cur.lits.push_back(Lit(static_cast<Var>(var - 1), v < 0));
+        open = true;
+    }
+    if (open)
+        rmp_fatal("DRAT: trailing unterminated clause%s", "");
+    return log;
+}
+
+void
+DratLogRecorder::onInput(const std::vector<Lit> &lits)
+{
+    for (Lit l : lits)
+        inputs_.numVars = std::max(inputs_.numVars, l.var() + 1);
+    inputs_.clauses.push_back(lits);
+}
+
+void
+DratLogRecorder::onDerive(const std::vector<Lit> &lits)
+{
+    log_.push_back({DratStep::Kind::Add, lits});
+}
+
+void
+DratLogRecorder::onDelete(const std::vector<Lit> &lits)
+{
+    log_.push_back({DratStep::Kind::Delete, lits});
+}
+
+DratChecker::DratChecker() = default;
+
+void
+DratChecker::ensureVar(Var v)
+{
+    while (static_cast<Var>(assigns_.size()) <= v) {
+        assigns_.push_back(LBool::Undef);
+        watches_.emplace_back();
+        watches_.emplace_back();
+    }
+}
+
+LBool
+DratChecker::litValue(Lit l) const
+{
+    LBool v = assigns_[l.var()];
+    if (v == LBool::Undef)
+        return LBool::Undef;
+    return ((v == LBool::True) != l.sign()) ? LBool::True : LBool::False;
+}
+
+bool
+DratChecker::enqueue(Lit l)
+{
+    LBool v = litValue(l);
+    if (v == LBool::False)
+        return false;
+    if (v == LBool::True)
+        return true;
+    assigns_[l.var()] = l.sign() ? LBool::False : LBool::True;
+    trail_.push_back(l);
+    return true;
+}
+
+bool
+DratChecker::propagate(size_t from)
+{
+    // Two-watched-literal propagation, independent of the solver's.
+    // Watch relocations done under temporary (RUP / checkUnsat)
+    // assignments stay valid after undoTo(): un-assigning literals only
+    // weakens the "watched literal is non-false" invariant's premises.
+    size_t qhead = from;
+    while (qhead < trail_.size()) {
+        Lit p = trail_[qhead++];
+        std::vector<Watcher> &ws = watches_[p.x];
+        size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            uint32_t cref = ws[i].cref;
+            CClause &c = clauses_[cref];
+            if (!c.active) {
+                i++; // dropped by a deletion; garbage-collect the watcher
+                continue;
+            }
+            Lit false_lit = ~p;
+            if (c.lits[0] == false_lit)
+                std::swap(c.lits[0], c.lits[1]);
+            if (c.lits[1] != false_lit) {
+                // Stale watcher from an earlier relocation; drop it.
+                i++;
+                continue;
+            }
+            i++;
+            Lit first = c.lits[0];
+            if (litValue(first) == LBool::True) {
+                ws[j++] = {cref};
+                continue;
+            }
+            bool found = false;
+            for (size_t k = 2; k < c.lits.size(); k++) {
+                if (litValue(c.lits[k]) != LBool::False) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[(~c.lits[1]).x].push_back({cref});
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                continue;
+            ws[j++] = {cref};
+            if (litValue(first) == LBool::False) {
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+                ws.resize(j);
+                return false; // conflict
+            }
+            if (!enqueue(first)) {
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+                ws.resize(j);
+                return false;
+            }
+        }
+        ws.resize(j);
+    }
+    return true;
+}
+
+void
+DratChecker::undoTo(size_t mark)
+{
+    while (trail_.size() > mark) {
+        assigns_[trail_.back().var()] = LBool::Undef;
+        trail_.pop_back();
+    }
+}
+
+bool
+DratChecker::rupHolds(const std::vector<Lit> &lits)
+{
+    // F ∪ ¬C must unit-propagate to a conflict.
+    if (contradiction_)
+        return true; // F already refuted: anything follows
+    size_t mark = trail_.size();
+    bool conflict = false;
+    for (Lit l : lits) {
+        ensureVar(l.var());
+        if (!enqueue(~l)) {
+            conflict = true; // l is already true at root
+            break;
+        }
+    }
+    if (!conflict)
+        conflict = !propagate(mark);
+    undoTo(mark);
+    return conflict;
+}
+
+uint64_t
+DratChecker::clauseHash(const std::vector<Lit> &sorted)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (Lit l : sorted) {
+        h ^= static_cast<uint64_t>(static_cast<uint32_t>(l.x)) + 1;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+DratChecker::attach(std::vector<Lit> lits)
+{
+    if (contradiction_)
+        return; // refuted: nothing further can matter
+    for (Lit l : lits)
+        ensureVar(l.var());
+    if (lits.empty()) {
+        contradiction_ = true;
+        return;
+    }
+
+    uint32_t cref = static_cast<uint32_t>(clauses_.size());
+    {
+        std::vector<Lit> sorted = lits;
+        std::sort(sorted.begin(), sorted.end());
+        byHash_[clauseHash(sorted)].push_back(cref);
+    }
+
+    if (lits.size() == 1) {
+        // Root unit: assign permanently and propagate to fixpoint.
+        clauses_.push_back({std::move(lits), true});
+        size_t mark = trail_.size();
+        Lit u = clauses_.back().lits[0];
+        if (!enqueue(u) || !propagate(mark))
+            contradiction_ = true;
+        return;
+    }
+
+    // Prefer non-false watch literals so the invariant holds at attach
+    // time under the current root assignment.
+    size_t w = 0;
+    for (size_t k = 0; k < lits.size() && w < 2; k++) {
+        if (litValue(lits[k]) != LBool::False)
+            std::swap(lits[w++], lits[k]);
+    }
+    if (w == 0) {
+        // All literals root-false: the clause is a root conflict.
+        clauses_.push_back({std::move(lits), true});
+        contradiction_ = true;
+        return;
+    }
+    if (w == 1) {
+        // Unit under the root assignment: propagate its implied literal.
+        Lit u = lits[0];
+        clauses_.push_back({std::move(lits), true});
+        size_t mark = trail_.size();
+        if (!enqueue(u) || !propagate(mark))
+            contradiction_ = true;
+        // Still watch two literals so later deletions stay uniform.
+        const CClause &c = clauses_.back();
+        watches_[(~c.lits[0]).x].push_back({cref});
+        watches_[(~c.lits[1]).x].push_back({cref});
+        return;
+    }
+    clauses_.push_back({std::move(lits), true});
+    const CClause &c = clauses_.back();
+    watches_[(~c.lits[0]).x].push_back({cref});
+    watches_[(~c.lits[1]).x].push_back({cref});
+}
+
+void
+DratChecker::recordFailure(const std::vector<Lit> &lits, const char *why)
+{
+    failed_++;
+    if (!firstFailure_.empty())
+        return;
+    std::ostringstream os;
+    os << why << ":";
+    for (Lit l : lits)
+        os << " " << (l.sign() ? -(l.var() + 1) : l.var() + 1);
+    firstFailure_ = os.str();
+}
+
+void
+DratChecker::onInput(const std::vector<Lit> &lits)
+{
+    attach(lits);
+}
+
+void
+DratChecker::onDerive(const std::vector<Lit> &lits)
+{
+    checked_++;
+    if (!rupHolds(lits)) {
+        recordFailure(lits, "addition is not RUP");
+        return; // do not attach an unjustified clause
+    }
+    attach(lits);
+}
+
+void
+DratChecker::onDelete(const std::vector<Lit> &lits)
+{
+    std::vector<Lit> sorted = lits;
+    std::sort(sorted.begin(), sorted.end());
+    auto it = byHash_.find(clauseHash(sorted));
+    if (it == byHash_.end())
+        return; // deleting an unknown clause only weakens the set: sound
+    for (uint32_t cref : it->second) {
+        CClause &c = clauses_[cref];
+        if (!c.active)
+            continue;
+        std::vector<Lit> cs = c.lits;
+        std::sort(cs.begin(), cs.end());
+        if (cs != sorted)
+            continue;
+        // Lazy detach: propagate() skips inactive clauses.
+        c.active = false;
+        return;
+    }
+}
+
+bool
+DratChecker::step(const DratStep &s)
+{
+    uint64_t failed_before = failed_;
+    if (s.kind == DratStep::Kind::Add)
+        onDerive(s.lits);
+    else
+        onDelete(s.lits);
+    return failed_ == failed_before;
+}
+
+bool
+DratChecker::checkUnsat(const std::vector<Lit> &assumptions)
+{
+    if (!ok())
+        return false;
+    if (contradiction_)
+        return true;
+    size_t mark = trail_.size();
+    bool conflict = false;
+    for (Lit a : assumptions) {
+        ensureVar(a.var());
+        if (!enqueue(a)) {
+            conflict = true;
+            break;
+        }
+    }
+    if (!conflict)
+        conflict = !propagate(mark);
+    undoTo(mark);
+    return conflict;
+}
+
+bool
+checkDrat(const Cnf &cnf, const DratLog &proof, std::string *why)
+{
+    DratChecker chk;
+    for (const auto &cl : cnf.clauses)
+        chk.addInput(cl);
+    for (const DratStep &s : proof)
+        chk.step(s);
+    bool good = chk.ok() && chk.refuted();
+    if (!good && why) {
+        *why = !chk.ok() ? chk.firstFailure()
+                         : "proof does not derive the empty clause";
+    }
+    return good;
+}
+
+} // namespace rmp::sat

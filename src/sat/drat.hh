@@ -1,0 +1,207 @@
+/**
+ * @file
+ * DRAT clausal proofs: emission hooks, serialization, and a standalone
+ * forward checker.
+ *
+ * The CDCL solver is the single most trusted component in the stack —
+ * every Unreachable verdict (and through it every synthesized μPATH and
+ * leakage signature) rests on an UNSAT answer nobody double-checks. This
+ * module closes that gap in the style of certified hardware flows
+ * (Btor2MLIR / certified BMC, PAPERS.md): the solver emits a clausal
+ * proof trace through sat::ProofSink, and the DratChecker replays it with
+ * nothing but unit propagation — a far smaller trusted core than the
+ * solver's watched-literal CDCL machinery.
+ *
+ * The emitted trace is the DRAT subset this solver actually needs:
+ *
+ *  - every learned clause and every root-level unit the solver derives is
+ *    an *addition*, checked as RUP (reverse unit propagation: assuming
+ *    the clause's negation must propagate to a conflict);
+ *  - every clause dropped by learned-DB reduction is a *deletion*;
+ *  - a root-level conflict adds the *empty clause* (a full refutation).
+ *
+ * Incremental queries solve under assumptions, so "unsat" frames usually
+ * end without an explicit empty clause; DratChecker::checkUnsat() closes
+ * those by verifying that the accumulated clause set plus the query's
+ * assumption units propagates to a conflict. Soundness of that closure:
+ * the solver's trail is built exclusively from assumption pseudo-
+ * decisions and reason-clause propagations, and every reason clause is
+ * either an input clause or a logged addition, so the final conflict is
+ * rediscoverable by unit propagation alone.
+ *
+ * bmc::Engine attaches one checker per solver instance when verdict
+ * auditing is on (EngineConfig::auditProof); the standalone
+ * checkDrat() entry point verifies a self-contained (CNF, proof) pair,
+ * e.g. one parsed back from dimacs + drat text files.
+ */
+
+#ifndef SAT_DRAT_HH
+#define SAT_DRAT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sat/dimacs.hh"
+#include "sat/solver.hh"
+
+namespace rmp::sat
+{
+
+/** One DRAT proof line. */
+struct DratStep
+{
+    enum class Kind : uint8_t { Add, Delete };
+
+    Kind kind = Kind::Add;
+    std::vector<Lit> lits;
+
+    bool operator==(const DratStep &o) const
+    {
+        return kind == o.kind && lits == o.lits;
+    }
+};
+
+/** A proof trace: additions and deletions in emission order. */
+using DratLog = std::vector<DratStep>;
+
+/**
+ * Render a proof in textual DRAT (one clause per line, deletions
+ * prefixed "d", literals in DIMACS numbering, 0-terminated).
+ */
+std::string toDratText(const DratLog &log);
+
+/** Parse textual DRAT. Throws via rmp_fatal on malformed input. */
+DratLog parseDratText(std::istream &in);
+
+/**
+ * ProofSink that records the solver's trace: inputs into a Cnf (paired
+ * with the proof the way a DIMACS file pairs with a .drat file) and
+ * derivations/deletions into a DratLog.
+ */
+class DratLogRecorder : public ProofSink
+{
+  public:
+    void onInput(const std::vector<Lit> &lits) override;
+    void onDerive(const std::vector<Lit> &lits) override;
+    void onDelete(const std::vector<Lit> &lits) override;
+
+    const Cnf &inputs() const { return inputs_; }
+    const DratLog &log() const { return log_; }
+
+  private:
+    Cnf inputs_;
+    DratLog log_;
+};
+
+/**
+ * Forward DRAT checker.
+ *
+ * Feed the formula through onInput() (or addInput()) and the proof
+ * through onDerive()/onDelete() (or step()); each addition is RUP-checked
+ * the moment it arrives, against exactly the clauses live at that point.
+ * The checker maintains its own two-watched-literal propagation state —
+ * it shares no code with the solver, which is the point.
+ *
+ * Used in two modes:
+ *  - attached live to an incremental solver (ProofSink), where
+ *    checkUnsat() audits each Unsat-under-assumptions verdict;
+ *  - offline over a recorded (Cnf, DratLog) pair via checkDrat().
+ */
+class DratChecker : public ProofSink
+{
+  public:
+    DratChecker();
+
+    /** @name ProofSink interface (live attachment to a solver) */
+    /// @{
+    void onInput(const std::vector<Lit> &lits) override;
+    void onDerive(const std::vector<Lit> &lits) override;
+    void onDelete(const std::vector<Lit> &lits) override;
+    /// @}
+
+    /** Add one input clause (no RUP obligation). */
+    void addInput(const std::vector<Lit> &lits) { onInput(lits); }
+
+    /** Process one proof step; returns false iff an Add fails RUP. */
+    bool step(const DratStep &s);
+
+    /** True while every checked addition so far was RUP. */
+    bool ok() const { return failed_ == 0; }
+
+    /** Additions RUP-checked so far. */
+    uint64_t checked() const { return checked_; }
+
+    /** Additions that failed their RUP check. */
+    uint64_t failed() const { return failed_; }
+
+    /** True once a root-level contradiction (empty clause) is derived. */
+    bool refuted() const { return contradiction_; }
+
+    /**
+     * Audit an "unsat under @p assumptions" verdict: true iff the live
+     * clause set extended with the assumption units propagates to a
+     * conflict (trivially true once refuted()). Leaves the checker state
+     * unchanged. A verdict audit additionally requires ok(): a proof
+     * whose additions failed RUP proves nothing.
+     */
+    bool checkUnsat(const std::vector<Lit> &assumptions);
+
+    /** Human-readable description of the first failure ("" if none). */
+    const std::string &firstFailure() const { return firstFailure_; }
+
+  private:
+    struct CClause
+    {
+        std::vector<Lit> lits;
+        bool active = true;
+    };
+
+    struct Watcher
+    {
+        uint32_t cref;
+    };
+
+    void ensureVar(Var v);
+    LBool litValue(Lit l) const;
+    /** Enqueue @p l; returns false if it is already false (conflict). */
+    bool enqueue(Lit l);
+    /** Propagate from @p from; returns false on conflict. */
+    bool propagate(size_t from);
+    /** Undo all assignments above trail position @p mark. */
+    void undoTo(size_t mark);
+    /** RUP check of @p lits against the live clause set. */
+    bool rupHolds(const std::vector<Lit> &lits);
+    /** Attach @p lits as a live clause (propagating root units). */
+    void attach(std::vector<Lit> lits);
+    void recordFailure(const std::vector<Lit> &lits, const char *why);
+    static uint64_t clauseHash(const std::vector<Lit> &sorted);
+
+    std::vector<CClause> clauses_;
+    /** Sorted-literal hash -> candidate clause indices (for deletions). */
+    std::unordered_map<uint64_t, std::vector<uint32_t>> byHash_;
+    std::vector<std::vector<Watcher>> watches_; ///< indexed by Lit.x
+    std::vector<LBool> assigns_;
+    /** Assignment trail; everything in it is persistent root-level state
+     *  except during a rupHolds()/checkUnsat() probe, which undoes its
+     *  own suffix before returning. */
+    std::vector<Lit> trail_;
+    bool contradiction_ = false;
+    uint64_t checked_ = 0;
+    uint64_t failed_ = 0;
+    std::string firstFailure_;
+};
+
+/**
+ * Check a self-contained refutation: feed @p cnf and @p proof through a
+ * fresh checker and require every addition to be RUP and the empty
+ * clause to be derived. @p why receives the first failure when non-null.
+ */
+bool checkDrat(const Cnf &cnf, const DratLog &proof,
+               std::string *why = nullptr);
+
+} // namespace rmp::sat
+
+#endif // SAT_DRAT_HH

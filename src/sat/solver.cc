@@ -100,6 +100,11 @@ Solver::addClause(std::vector<Lit> lits)
 {
     if (!okay)
         return false;
+    // The proof trace records the clause exactly as handed in; the
+    // simplifications below are all derivable from it plus the logged
+    // root units, so the checker never needs to see them.
+    if (proof)
+        proof->onInput(lits);
     // Incremental use: clauses may arrive between solve() calls while the
     // trail still holds assumption levels from the previous query.
     backtrack(0);
@@ -120,13 +125,22 @@ Solver::addClause(std::vector<Lit> lits)
         out.push_back(l);
     }
     if (out.empty()) {
+        // Every literal is false under the root assignment: refuted.
         okay = false;
+        if (proof)
+            proof->onDerive({});
         return false;
     }
     if (out.size() == 1) {
+        // A root-level unit (the clause itself, strengthened by root
+        // units) is a derived fact the checker must be told about.
+        if (proof)
+            proof->onDerive(out);
         enqueue(out[0], kNoReason);
         if (propagate() != kNoReason) {
             okay = false;
+            if (proof)
+                proof->onDerive({});
             return false;
         }
         return true;
@@ -424,6 +438,8 @@ Solver::reduceDB()
         ClauseRef cref = learned[i];
         if (locked[cref] || clauses[cref].lits.empty())
             continue;
+        if (proof)
+            proof->onDelete(clauses[cref].lits);
         // Detach from watch lists lazily: mark as empty and filter watches.
         for (int w = 0; w < 2; w++) {
             auto &ws = watches[(~clauses[cref].lits[w]).x];
@@ -497,6 +513,18 @@ Solver::solveLoop(const std::vector<Lit> &assumptions,
 
     std::vector<Lit> learned;
     while (true) {
+        // Deterministic budget boundary: the one and only exhaustion
+        // check, taken before each propagate/decide round against this
+        // call's deltas. Checking here (instead of, say, only after
+        // conflicts) makes the effective budget a pure function of the
+        // (formula, budget) pair — a propagation-heavy, conflict-free
+        // stretch can no longer blow arbitrarily far past
+        // maxPropagations before anyone looks.
+        if ((budget.maxConflicts &&
+             stats_.conflicts - conflicts_start >= budget.maxConflicts) ||
+            (budget.maxPropagations &&
+             stats_.propagations - props_start >= budget.maxPropagations))
+            return SatResult::Undetermined;
         ClauseRef confl = propagate();
         if (confl != kNoReason) {
             stats_.conflicts++;
@@ -507,11 +535,17 @@ Solver::solveLoop(const std::vector<Lit> &assumptions,
                 // past the falsified literals, so a later solve() would
                 // otherwise never rediscover it.
                 okay = false;
+                if (proof)
+                    proof->onDerive({});
                 return SatResult::Unsat;
             }
             int btlevel = 0;
             analyze(confl, learned, btlevel);
             backtrack(btlevel);
+            // Every learned clause (asserting 1UIP, minimized) is RUP
+            // against the clause database that produced it: log it.
+            if (proof)
+                proof->onDerive(learned);
             if (learned.size() == 1) {
                 enqueue(learned[0], kNoReason);
             } else {
@@ -526,12 +560,6 @@ Solver::solveLoop(const std::vector<Lit> &assumptions,
                 stats_.learnedClauses++;
             }
             decayActivities();
-            if (budget.maxConflicts &&
-                stats_.conflicts - conflicts_start >= budget.maxConflicts)
-                return SatResult::Undetermined;
-            if (budget.maxPropagations &&
-                stats_.propagations - props_start >= budget.maxPropagations)
-                return SatResult::Undetermined;
             continue;
         }
         if (conflicts_this_restart >= restart_limit) {

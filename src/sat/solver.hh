@@ -58,11 +58,38 @@ enum class SatResult : uint8_t
     Undetermined, ///< budget exhausted (the paper's timeout outcome)
 };
 
-/** Resource budgets; 0 means unlimited. */
+/**
+ * Resource budgets; 0 means unlimited.
+ *
+ * Budgets are compared against per-solve() deltas at a single
+ * deterministic point — the top of the search loop, before the next
+ * propagation/decision — so a given (formula, budget) pair on a fresh
+ * solver always exhausts at exactly the same step, independent of
+ * phase-saving, restart timing, or how the previous iteration happened
+ * to interleave conflicts and propagations.
+ */
 struct SatBudget
 {
     uint64_t maxConflicts = 0;
     uint64_t maxPropagations = 0;
+};
+
+/**
+ * Receives the solver's clausal proof trace (the DRAT subset described
+ * in sat/drat.hh). onInput() sees every problem clause exactly as handed
+ * to addClause() (pre-simplification); onDerive() sees every clause the
+ * solver claims follows from them — learned clauses, root-level units,
+ * and the empty clause on refutation; onDelete() sees learned clauses
+ * dropped by DB reduction. Callbacks run synchronously on the solving
+ * thread. Install with setProofSink() *before* adding clauses.
+ */
+class ProofSink
+{
+  public:
+    virtual ~ProofSink() = default;
+    virtual void onInput(const std::vector<Lit> &lits) = 0;
+    virtual void onDerive(const std::vector<Lit> &lits) = 0;
+    virtual void onDelete(const std::vector<Lit> &lits) = 0;
 };
 
 /** Cumulative statistics, reported by bench_perf_properties. */
@@ -125,6 +152,13 @@ class Solver
 
     /** Model value of @p v after a Sat result. */
     bool modelValue(Var v) const;
+
+    /**
+     * Install a proof sink (nullptr to detach). Must be installed before
+     * the first addClause() for the trace to cover the whole formula;
+     * the solver never takes ownership.
+     */
+    void setProofSink(ProofSink *sink) { proof = sink; }
 
     /** Statistics accumulated across all solve() calls. */
     const SatStats &stats() const { return stats_; }
@@ -191,6 +225,7 @@ class Solver
     bool okay = true;
     SatStats stats_;
     std::vector<Lit> model;
+    ProofSink *proof = nullptr;
 };
 
 } // namespace rmp::sat

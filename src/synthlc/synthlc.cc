@@ -77,7 +77,8 @@ SynthLc::SynthLc(const designs::Harness &harness, const SynthLcConfig &config)
       pool_(*inst.design,
             bmc::EngineConfig{config.bound ? config.bound
                                            : hx.duv().completenessBound,
-                              config.budget, true, config.coiPruning},
+                              config.budget, true, config.coiPruning,
+                              config.auditReplay, config.auditProof},
             exec::ExecConfig{config.jobs, config.lanes}),
       base(hx.baseAssumes())
 {

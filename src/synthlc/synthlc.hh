@@ -136,6 +136,12 @@ struct SynthLcConfig
     /** Unroll only each query's sequential cone of influence (see
      *  r2m::SynthesisConfig::coiPruning). */
     bool coiPruning = false;
+    /** Audit Reachable verdicts by simulator witness replay
+     *  (bmc::EngineConfig::auditReplay). */
+    bool auditReplay = false;
+    /** Audit Unreachable verdicts against the solver's DRAT trace
+     *  (bmc::EngineConfig::auditProof). */
+    bool auditProof = false;
 };
 
 /** Aggregate statistics for §VII-B3 reporting. */

@@ -144,6 +144,31 @@ TEST(Cli, SynthWithTraceAndStats)
     std::remove(trace.c_str());
 }
 
+TEST(Cli, CheckVerdictsAuditsEveryVerdictCleanly)
+{
+    // The acceptance gate for the verdict-audit layer: a full audited
+    // synthesis run replays every reachable witness and DRAT-checks
+    // every solver-backed unsat frame, with zero mismatches, and exits 0.
+    RunResult r = run("synth tiny3 --check-verdicts=all --jobs 4");
+    EXPECT_EQ(r.status, 0) << r.output;
+    EXPECT_NE(r.output.find("verdict audit:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("0 mismatch(es)"), std::string::npos)
+        << r.output;
+    // The audit actually ran: at least one replay and one proof check.
+    EXPECT_EQ(r.output.find("0 witness replay(s)"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("0 DRAT-closed"), std::string::npos)
+        << r.output;
+}
+
+TEST(Cli, CheckVerdictsRejectsUnknownMode)
+{
+    RunResult r = run("synth tiny3 --check-verdicts=frob");
+    EXPECT_NE(r.status, 0);
+    EXPECT_TRUE(mentionsUsage(r.output)) << r.output;
+}
+
 TEST(Cli, StatsJsonIsWellFormedSummary)
 {
     RunResult r = run("bugs tiny3 --stats --json");

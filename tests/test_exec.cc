@@ -229,3 +229,72 @@ TEST(Exec, ParallelForRunsEveryIndexExactlyOnce)
     for (size_t i = 0; i < seen.size(); i++)
         EXPECT_EQ(seen[i].load(), 1) << i;
 }
+
+TEST(Exec, DigestCollisionIsDetectedNotAliased)
+{
+    // Regression for the cache-collision latent defect: the 128-bit
+    // QueryKey is a hash digest, so two distinct queries CAN land on the
+    // same key. Force that case by hand — same QueryKey, different
+    // canonical bytes — and require the cache to keep the two results
+    // separate, serve each probe its own verdict, and count the
+    // collision, instead of silently aliasing one query's verdict to the
+    // other.
+    QueryCache cache;
+    QueryKey key{0x1234, 0x5678};
+    bmc::CoverResult reach;
+    reach.outcome = Outcome::Reachable;
+    bmc::CoverResult unreach;
+    unreach.outcome = Outcome::Unreachable;
+
+    cache.put(key, "query-A", reach);
+    CachedResult out;
+    // Probe with different bytes under the same digest: a miss, counted
+    // as a collision — NOT query A's verdict.
+    EXPECT_FALSE(cache.get(key, "query-B", &out));
+    EXPECT_EQ(cache.stats().collisions, 1u);
+
+    // Publish B under the same digest; both now coexist and resolve to
+    // their own verdicts.
+    cache.put(key, "query-B", unreach);
+    ASSERT_TRUE(cache.get(key, "query-A", &out));
+    EXPECT_EQ(out.outcome, Outcome::Reachable);
+    ASSERT_TRUE(cache.get(key, "query-B", &out));
+    EXPECT_EQ(out.outcome, Outcome::Unreachable);
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    // Re-publishing an existing entry is a no-op, not a new collision.
+    cache.put(key, "query-A", reach);
+    EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(Exec, KeyBytesCanonicalization)
+{
+    // The canonical bytes must be insensitive to exactly what the digest
+    // is insensitive to (assume order, DAG sharing) and sensitive to
+    // everything else.
+    CounterDesign cd;
+    EngineConfig cfg = counterCfg();
+    uint64_t fp = designFingerprint(cd.d);
+    auto a1 = pEq(cd.cnt, 1);
+    auto a2 = pEq(cd.cnt, 2);
+    std::string fwd = makeQueryKeyBytes(fp, cfg, pTrue(), {a1, a2}, -1);
+    std::string rev = makeQueryKeyBytes(fp, cfg, pTrue(), {a2, a1}, -1);
+    EXPECT_EQ(fwd, rev);
+
+    // Structurally identical expressions with different node sharing
+    // serialize identically (tree expansion).
+    auto shared = pAnd(a1, a1);
+    auto unshared = pAnd(pEq(cd.cnt, 1), pEq(cd.cnt, 1));
+    EXPECT_EQ(makeQueryKeyBytes(fp, cfg, shared, {}, -1),
+              makeQueryKeyBytes(fp, cfg, unshared, {}, -1));
+
+    // Different queries differ.
+    EXPECT_NE(makeQueryKeyBytes(fp, cfg, a1, {}, -1),
+              makeQueryKeyBytes(fp, cfg, a2, {}, -1));
+    EXPECT_NE(makeQueryKeyBytes(fp, cfg, a1, {}, -1),
+              makeQueryKeyBytes(fp, cfg, a1, {}, 0));
+    EngineConfig other = cfg;
+    other.budget.maxConflicts = 1;
+    EXPECT_NE(makeQueryKeyBytes(fp, cfg, a1, {}, -1),
+              makeQueryKeyBytes(fp, other, a1, {}, -1));
+}

@@ -52,6 +52,86 @@ TEST(Dimacs, RoundTrip)
 namespace
 {
 
+/** write -> parse -> write must be byte-identical. */
+void
+expectWriteParseWriteStable(const Cnf &cnf)
+{
+    std::string text = toDimacs(cnf);
+    std::istringstream in(text);
+    Cnf back = parseDimacs(in);
+    EXPECT_EQ(toDimacs(back), text);
+}
+
+} // namespace
+
+TEST(Dimacs, EmptyClauseSetRoundTrips)
+{
+    // Zero clauses is a valid formula (trivially satisfiable).
+    std::istringstream in("p cnf 4 0\n");
+    Cnf cnf = parseDimacs(in);
+    EXPECT_EQ(cnf.numVars, 4);
+    EXPECT_TRUE(cnf.clauses.empty());
+    expectWriteParseWriteStable(cnf);
+
+    // So is a formula containing an *empty clause* (trivially unsat):
+    // a bare "0" terminator with no literals.
+    std::istringstream in2("p cnf 1 2\n1 0\n0\n");
+    Cnf cnf2 = parseDimacs(in2);
+    ASSERT_EQ(cnf2.clauses.size(), 2u);
+    EXPECT_TRUE(cnf2.clauses[1].empty());
+    Solver s;
+    EXPECT_FALSE(loadCnf(s, cnf2));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+    expectWriteParseWriteStable(cnf2);
+}
+
+TEST(Dimacs, MissingTrailingNewlineAndTerminator)
+{
+    // A file truncated right after the last literal — no final "0", no
+    // trailing newline — must still yield the final clause.
+    std::istringstream in("p cnf 3 2\n1 2 0\n-1 3");
+    Cnf cnf = parseDimacs(in);
+    ASSERT_EQ(cnf.clauses.size(), 2u);
+    EXPECT_EQ(cnf.clauses[1],
+              (std::vector<Lit>{Lit(0, true), Lit(2, false)}));
+    expectWriteParseWriteStable(cnf);
+
+    // Terminated final clause but no trailing newline: same formula.
+    std::istringstream in2("p cnf 3 2\n1 2 0\n-1 3 0");
+    Cnf cnf2 = parseDimacs(in2);
+    ASSERT_EQ(cnf2.clauses.size(), 2u);
+    EXPECT_EQ(cnf2.clauses[1], cnf.clauses[1]);
+}
+
+TEST(Dimacs, HeaderUnderDeclaringVarsIsWidened)
+{
+    // Machine-generated files sometimes declare fewer variables than
+    // their literals use; the parser widens (with a warning) instead of
+    // dying, and the round trip is stable from the widened form.
+    std::istringstream in("p cnf 2 2\n1 2 0\n-5 1 0\n");
+    Cnf cnf = parseDimacs(in);
+    EXPECT_EQ(cnf.numVars, 5);
+    ASSERT_EQ(cnf.clauses.size(), 2u);
+    EXPECT_EQ(cnf.clauses[1][0], Lit(4, true));
+    Solver s;
+    ASSERT_TRUE(loadCnf(s, cnf));
+    EXPECT_EQ(s.numVars(), 5);
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    expectWriteParseWriteStable(cnf);
+}
+
+TEST(Dimacs, LeadingWhitespaceAndComments)
+{
+    std::istringstream in("  c indented comment\n\t p cnf 2 1\n 1 -2 0\n");
+    Cnf cnf = parseDimacs(in);
+    EXPECT_EQ(cnf.numVars, 2);
+    ASSERT_EQ(cnf.clauses.size(), 1u);
+    expectWriteParseWriteStable(cnf);
+}
+
+namespace
+{
+
 /** A saturating counter that (correctly) never exceeds 10. */
 struct SatCounter
 {

@@ -43,6 +43,9 @@ usage(std::FILE *f)
         "  list                      list the built-in DUVs\n"
         "  synth     <duv>           synthesize uPATHs for every"
         " instruction\n"
+        "  prove     <duv>           synth with the full BMC closure"
+        " queries\n"
+        "                            (equivalent to synth --closure)\n"
         "  upaths    <duv> <instr>   synthesize one instruction's uPATHs\n"
         "  leakage   <duv> <instr>   SynthLC leakage signatures\n"
         "  contracts <duv>           end-to-end contract synthesis\n"
@@ -62,6 +65,13 @@ usage(std::FILE *f)
         "                 identical for every value)\n"
         "  --coi          unroll only each query's sequential cone of\n"
         "                 influence (verdicts unchanged; prints COI stats)\n"
+        "  --check-verdicts[=replay|proof|all]\n"
+        "                 trust-but-verify every BMC verdict (default:"
+        " all):\n"
+        "                 'replay' re-simulates each reachable witness,\n"
+        "                 'proof' DRAT-checks each unsat frame; prints an\n"
+        "                 audit summary and exits non-zero on any"
+        " mismatch\n"
         "  --tx A,B,...   transmitter instructions (leakage)\n"
         "  --instrs A,... instruction subset (synth, contracts)\n"
         "  --dot DIR      write one Graphviz file per synthesized uPATH\n"
@@ -126,6 +136,8 @@ struct CliOptions
     bool closure = false;
     bool counts = false;
     bool coi = false;
+    bool checkReplay = false;
+    bool checkProof = false;
     bool json = false;
     bool stats = false;
     bool progress = false;
@@ -156,6 +168,20 @@ parseOptions(int argc, char **argv, int first)
             o.counts = true;
         else if (a == "--coi")
             o.coi = true;
+        else if (a == "--check-verdicts" ||
+                 a.rfind("--check-verdicts=", 0) == 0) {
+            std::string mode =
+                a == "--check-verdicts" ? "all" : a.substr(17);
+            if (mode == "replay")
+                o.checkReplay = true;
+            else if (mode == "proof")
+                o.checkProof = true;
+            else if (mode == "all")
+                o.checkReplay = o.checkProof = true;
+            else
+                usageError("unknown --check-verdicts mode '%s'",
+                           mode.c_str());
+        }
         else if (a == "--json")
             o.json = true;
         else if (a == "--stats")
@@ -189,6 +215,8 @@ synthConfig(const CliOptions &o)
     c.revisitCounts = o.counts;
     c.jobs = o.jobs;
     c.coiPruning = o.coi;
+    c.auditReplay = o.checkReplay;
+    c.auditProof = o.checkProof;
     return c;
 }
 
@@ -201,12 +229,35 @@ std::string g_design;
 exec::PoolStats g_pool;
 bool g_havePool = false;
 
+/**
+ * Verdict-audit tallies accumulated across every pool a command drives
+ * (commands like leakage/contracts run two: the uPATH synthesizer's and
+ * SynthLC's). The --check-verdicts epilogue prints these and fails the
+ * run on any mismatch.
+ */
+struct AuditTotals
+{
+    uint64_t replayed = 0;
+    uint64_t proofChecked = 0;
+    uint64_t mismatches = 0;
+} g_audit;
+
+void
+foldAudit(const exec::EnginePool &pool)
+{
+    exec::PoolStats s = pool.stats();
+    g_audit.replayed += s.engine.auditReplayed;
+    g_audit.proofChecked += s.engine.auditProofChecked;
+    g_audit.mismatches += s.engine.auditMismatches;
+}
+
 void
 snapshotPool(const designs::Harness &hx, const exec::EnginePool &pool)
 {
     g_design = hx.design().name();
     g_pool = pool.stats();
     g_havePool = true;
+    foldAudit(pool);
 }
 
 int
@@ -293,6 +344,8 @@ cmdLeakage(const std::string &duv, const std::string &instr,
     slc::SynthLcConfig lc;
     lc.budget.maxConflicts = o.budget;
     lc.jobs = o.jobs;
+    lc.auditReplay = o.checkReplay;
+    lc.auditProof = o.checkProof;
     slc::SynthLc slc(hx, lc);
     uhb::InstrId p = hx.duv().instrId(instr);
     uhb::InstrPaths r = synth.synthesize(p);
@@ -311,6 +364,7 @@ cmdLeakage(const std::string &duv, const std::string &instr,
                 report::renderStepStats(synth.stepStats(), &slc.stats())
                     .c_str());
     snapshotPool(hx, synth.pool());
+    foldAudit(slc.pool());
     return 0;
 }
 
@@ -322,6 +376,8 @@ cmdContracts(const std::string &duv, const CliOptions &o)
     slc::SynthLcConfig lc;
     lc.budget.maxConflicts = o.budget;
     lc.jobs = o.jobs;
+    lc.auditReplay = o.checkReplay;
+    lc.auditProof = o.checkProof;
     slc::SynthLc slc(hx, lc);
     std::vector<std::string> names = o.instrs;
     if (names.empty()) {
@@ -350,6 +406,7 @@ cmdContracts(const std::string &duv, const CliOptions &o)
     std::printf("%s\n", ct::renderContracts(db).c_str());
     std::printf("%s\n", report::renderFig8Matrix(db).c_str());
     snapshotPool(hx, synth.pool());
+    foldAudit(slc.pool());
     return 0;
 }
 
@@ -437,8 +494,8 @@ main(int argc, char **argv)
     int npos;
     if (cmd == "upaths" || cmd == "leakage")
         npos = 2;
-    else if (cmd == "synth" || cmd == "contracts" || cmd == "bugs" ||
-             cmd == "lint")
+    else if (cmd == "synth" || cmd == "prove" || cmd == "contracts" ||
+             cmd == "bugs" || cmd == "lint")
         npos = 1;
     else
         usageError("unknown command '%s'", cmd.c_str());
@@ -460,7 +517,11 @@ main(int argc, char **argv)
     int rc;
     if (cmd == "synth")
         rc = cmdSynth(argv[2], o);
-    else if (cmd == "upaths")
+    else if (cmd == "prove") {
+        // prove = synth with every closure query run formally.
+        o.closure = true;
+        rc = cmdSynth(argv[2], o);
+    } else if (cmd == "upaths")
         rc = cmdUpaths(argv[2], argv[3], o);
     else if (cmd == "leakage")
         rc = cmdLeakage(argv[2], argv[3], o);
@@ -494,6 +555,21 @@ main(int argc, char **argv)
                             .c_str());
         else
             std::printf("\n%s", report::renderObsStats().c_str());
+    }
+    if (o.checkReplay || o.checkProof) {
+        std::printf("\nverdict audit: %llu witness replay(s), "
+                    "%llu DRAT-closed unsat frame(s), %llu mismatch(es)\n",
+                    static_cast<unsigned long long>(g_audit.replayed),
+                    static_cast<unsigned long long>(g_audit.proofChecked),
+                    static_cast<unsigned long long>(g_audit.mismatches));
+        if (g_audit.mismatches) {
+            std::fprintf(
+                stderr,
+                "rmp: verdict audit FAILED: %llu verdict(s) were not "
+                "supported by their own evidence\n",
+                static_cast<unsigned long long>(g_audit.mismatches));
+            rc = rc ? rc : 1;
+        }
     }
     return rc;
 }
