@@ -24,30 +24,25 @@ namespace
 
 /**
  * Run @p prog with r1 seeded to @p secret via the symbolic-init input and
- * return the observation trace.
+ * return the observation trace. The experiment runs on the compiled
+ * watch-set engine; every trace is cross-checked against the interpreted
+ * oracle (engineAgreement tallies any divergence).
  */
+int engineDisagreements = 0;
+
 std::vector<uint64_t>
-observe(const std::vector<ProgInstr> &prog, uint64_t secret)
+observe(const Harness &hx, ProgramDriver &compiled, ProgramDriver &oracle,
+        const std::vector<ProgInstr> &prog, uint64_t secret)
 {
-    Harness hx(buildMcva());
-    Simulator sim(hx.design());
-    const auto &info = hx.duv();
     SigId init_r1 = hx.design().findByName("arf_init1");
-    size_t pos = 0;
-    for (unsigned t = 0; t < 50; t++) {
-        InputMap in;
-        if (t == 0)
-            in[init_r1] = secret;
-        if (pos < prog.size()) {
-            in[info.fetchValid] = 1;
-            in[info.ifr] = prog[pos].word;
-        }
-        sim.step(in);
-        if (pos < prog.size() && sim.value(info.fetchReady))
-            pos++;
-    }
-    ProgramDriver drv(hx);
-    return drv.observationTrace(sim.trace());
+    InputMap init{{init_r1, secret}};
+    std::vector<uint64_t> obs =
+        compiled.observationTrace(compiled.run(prog, 50, init));
+    std::vector<uint64_t> ref =
+        oracle.observationTrace(oracle.run(prog, 50, init));
+    if (obs != ref)
+        engineDisagreements++;
+    return obs;
 }
 
 } // namespace
@@ -81,10 +76,12 @@ main()
          true, 0, 5}, // taken iff the secret register equals r0 (= 0)
     };
 
+    ProgramDriver compiled(hx, /*compiled=*/true);
+    ProgramDriver oracle(hx);
     int violations = 0;
     for (const auto &c : cases) {
-        auto o1 = observe(c.prog, c.s1);
-        auto o2 = observe(c.prog, c.s2);
+        auto o1 = observe(hx, compiled, oracle, c.prog, c.s1);
+        auto o2 = observe(hx, compiled, oracle, c.prog, c.s2);
         bool differs = o1 != o2;
         violations += differs;
         std::printf("  %-48s low-equiv traces %s  (expected %s)%s\n",
@@ -98,5 +95,13 @@ main()
                   "/4 programs violate SC-Safety, matching the "
                   "transmitter classification (DIV and branches leak; "
                   "fixed-latency ALU ops and safe-address stores do not)");
+    if (engineDisagreements != 0) {
+        std::printf("  FAIL: compiled and interpreted observation traces "
+                    "disagree on %d run(s)\n",
+                    engineDisagreements);
+        return 1;
+    }
+    std::printf("  compiled == interpreted observation traces on all "
+                "runs\n");
     return 0;
 }

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+#include "sim/batch.hh"
 
 namespace rmp::bmc
 {
@@ -314,16 +315,16 @@ Engine::satStats() const
     return s;
 }
 
-ReplayCheck
-replayWitness(const Design &design, const std::vector<InputMap> &inputs,
-              const prop::ExprRef &seq,
-              const std::vector<prop::ExprRef> &assumes, unsigned bound)
+namespace
 {
-    ReplayCheck rc;
-    Simulator sim(design);
-    for (unsigned t = 0; t < bound && t < inputs.size(); t++)
-        sim.step(inputs[t]);
-    rc.trace = sim.trace();
+
+/** Evaluate the cover match and assume conditions on rc.trace. Shared by
+ *  the interpreted and compiled replay paths so both apply the exact
+ *  same acceptance criteria. */
+void
+evalReplay(ReplayCheck &rc, const prop::ExprRef &seq,
+           const std::vector<prop::ExprRef> &assumes, unsigned bound)
+{
     for (unsigned t = 0; t < bound && !rc.matched; t++) {
         if (prop::evalOnTrace(seq, rc.trace, t)) {
             rc.matched = true;
@@ -341,7 +342,74 @@ replayWitness(const Design &design, const std::vector<InputMap> &inputs,
         if (!rc.assumesHold)
             break;
     }
+}
+
+} // anonymous namespace
+
+ReplayCheck
+replayWitness(const Design &design, const std::vector<InputMap> &inputs,
+              const prop::ExprRef &seq,
+              const std::vector<prop::ExprRef> &assumes, unsigned bound)
+{
+    ReplayCheck rc;
+    Simulator sim(design);
+    sim.reserveTrace(std::min<size_t>(bound, inputs.size()));
+    for (unsigned t = 0; t < bound && t < inputs.size(); t++)
+        sim.step(inputs[t]);
+    rc.trace = sim.trace();
+    evalReplay(rc, seq, assumes, bound);
     return rc;
+}
+
+ReplayCheck
+replayWitnessCompiled(const sim::Tape &tape, const Design &design,
+                      const std::vector<InputMap> &inputs,
+                      const prop::ExprRef &seq,
+                      const std::vector<prop::ExprRef> &assumes,
+                      unsigned bound)
+{
+    ReplayCheck rc;
+    sim::BatchSim bs(tape, 1);
+    bs.reserveTrace(std::min<size_t>(bound, inputs.size()));
+    for (unsigned t = 0; t < bound && t < inputs.size(); t++) {
+        bs.clearInputs();
+        bs.stageInputs(0, inputs[t]);
+        bs.step();
+    }
+    rc.trace = bs.laneTrace(0, design.numCells());
+    evalReplay(rc, seq, assumes, bound);
+    return rc;
+}
+
+const sim::Tape &
+Engine::replayTapeFor(const prop::ExprRef &seq,
+                      const std::vector<prop::ExprRef> &assumes)
+{
+    if (replayWatched_.empty())
+        replayWatched_.assign(d.numCells(), 0);
+    bool grew = replayTape_ == nullptr;
+    auto add = [&](SigId s) {
+        if (s != kNoSig && !replayWatched_[s]) {
+            replayWatched_[s] = 1;
+            replayWatch_.push_back(s);
+            grew = true;
+        }
+    };
+    for (SigId s : cfg.witnessWatch)
+        add(s);
+    std::vector<SigId> support;
+    prop::collectSigs(seq, &support);
+    for (const auto &a : assumes)
+        prop::collectSigs(a, &support);
+    for (SigId s : support)
+        add(s);
+    // Recompile only when the watch closure grows; in steady state every
+    // query template's support is already covered and the tape is shared
+    // across all replays on this engine.
+    if (grew)
+        replayTape_ =
+            std::make_unique<sim::Tape>(sim::compileTape(d, replayWatch_));
+    return *replayTape_;
 }
 
 Witness
@@ -375,9 +443,17 @@ Engine::extractWitness(Ctx &ctx, const prop::ExprRef &seq,
         }
     }
     if (cfg.validateWitnesses || cfg.auditReplay) {
-        // Independent soundness cross-check: replay on the simulator and
-        // confirm the sequence matches and all assumes hold.
-        ReplayCheck rc = replayWitness(d, w.inputs, seq, assumes, cfg.bound);
+        // Independent soundness cross-check: replay the decoded stimulus
+        // and confirm the sequence matches and all assumes hold. The
+        // audit always replays on the interpreted simulator — it is the
+        // trusted oracle the compiled engine itself is checked against —
+        // while plain validation may ride the compiled tape when the
+        // caller opted in (sparse watch-set traces suffice for it).
+        ReplayCheck rc =
+            cfg.compiledReplay && !cfg.auditReplay
+                ? replayWitnessCompiled(replayTapeFor(seq, assumes), d,
+                                        w.inputs, seq, assumes, cfg.bound)
+                : replayWitness(d, w.inputs, seq, assumes, cfg.bound);
         if (cfg.auditReplay && audit) {
             // Audit mode records the mismatch for the caller to report
             // and quarantine; hard-asserting here would take down a whole

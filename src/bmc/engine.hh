@@ -42,6 +42,7 @@
 #include "sat/drat.hh"
 #include "sat/solver.hh"
 #include "sim/simulator.hh"
+#include "sim/tape.hh"
 
 namespace rmp::bmc
 {
@@ -81,6 +82,22 @@ ReplayCheck replayWitness(const Design &design,
                           const prop::ExprRef &seq,
                           const std::vector<prop::ExprRef> &assumes,
                           unsigned bound);
+
+/**
+ * Compiled-engine counterpart of replayWitness(): replays @p inputs on a
+ * single-lane sim::BatchSim over @p tape and evaluates the same match /
+ * assume conditions. @p tape must watch every signal the sequence and
+ * assumes read (Engine maintains such a tape under
+ * EngineConfig::compiledReplay). The returned trace is sparse: only
+ * watched signals carry values. Never used by the verdict audit, which
+ * stays on the interpreted oracle (DESIGN.md §3g/§3h).
+ */
+ReplayCheck replayWitnessCompiled(const sim::Tape &tape,
+                                  const Design &design,
+                                  const std::vector<InputMap> &inputs,
+                                  const prop::ExprRef &seq,
+                                  const std::vector<prop::ExprRef> &assumes,
+                                  unsigned bound);
 
 /** A concrete witness for a Reachable cover. */
 struct Witness
@@ -172,6 +189,22 @@ struct EngineConfig
      * base — they are counted as neither checked nor mismatched.
      */
     bool auditProof = false;
+    /**
+     * Validate witnesses on the compiled op-tape engine instead of the
+     * interpreted simulator. Witness traces then become sparse watch-set
+     * traces covering witnessWatch plus the query's support signals —
+     * callers that read other signals from witness traces must leave
+     * this off (the default). Ignored whenever auditReplay is set: the
+     * audit's whole point is the independent interpreted oracle, so it
+     * never rides the engine it is meant to check.
+     */
+    bool compiledReplay = false;
+    /**
+     * Signals witness traces must expose under compiledReplay beyond
+     * the query's own support (e.g. the harness PL trackers μPATH
+     * construction reads). Deduplicated; order irrelevant.
+     */
+    std::vector<SigId> witnessWatch;
 };
 
 /** Aggregate query statistics (reported by bench_perf_properties). */
@@ -294,6 +327,15 @@ class Engine
                            const std::vector<prop::ExprRef> &assumes,
                            VerdictAudit *audit);
 
+    /**
+     * The replay tape for @p seq / @p assumes (compiledReplay only):
+     * lazily compiled against witnessWatch plus every support signal
+     * seen so far, recompiled only when a query's support grows the
+     * watch closure.
+     */
+    const sim::Tape &replayTapeFor(const prop::ExprRef &seq,
+                                   const std::vector<prop::ExprRef> &assumes);
+
     const Design &d;
     EngineConfig cfg;
     /** The full-design instance (absent under COI pruning). */
@@ -302,6 +344,12 @@ class Engine
     std::unordered_map<uint64_t, std::unique_ptr<Ctx>> cones_;
     EngineStats stats_;
     CoiStats coi_;
+    /** @name Compiled witness-replay state (compiledReplay only) */
+    /// @{
+    std::unique_ptr<sim::Tape> replayTape_;
+    std::vector<SigId> replayWatch_;
+    std::vector<uint8_t> replayWatched_; ///< bitmap over SigIds
+    /// @}
 };
 
 } // namespace rmp::bmc

@@ -11,6 +11,15 @@
  * is then only needed for the closure queries ("nothing else is
  * reachable") and for facts random simulation missed, which is where the
  * paper's undetermined-timeout regime applies (§VII-B3/B4).
+ *
+ * Exploration runs on the compiled batched engine (sim::BatchSim) by
+ * default: runs are seeded per (seed, iuv, run index), stepped in
+ * multi-lane lockstep batches fanned across worker threads, and only the
+ * harness watch set (PL trackers, iuvGone, fetchReady, edge observers) is
+ * recorded. Per-run results are merged into facts serially in run order,
+ * so the produced SimFacts are bit-identical across engines and across
+ * any lane/thread count (DESIGN.md §3h). The interpreted engine remains
+ * available as the reference oracle (SimEngine::Interpreted).
  */
 
 #ifndef RTL2MUPATH_SIM_EXPLORE_HH
@@ -23,12 +32,19 @@
 #include <vector>
 
 #include "bmc/engine.hh"
+#include "sim/batch.hh"
 #include "sim/simulator.hh"
 #include "designs/harness.hh"
 #include "uhb/graph.hh"
 
 namespace rmp::r2m
 {
+
+/** Which simulation engine drives the exploration runs. */
+enum class SimEngine : uint8_t {
+    Compiled,    ///< op-tape BatchSim, multi-lane, multi-thread
+    Interpreted, ///< scalar reference Simulator (the oracle)
+};
 
 /** Randomized-exploration configuration. */
 struct SimExploreConfig
@@ -47,13 +63,23 @@ struct SimExploreConfig
      * channels such as zero-skip multiplication.
      */
     double specialInitProb = 0.4;
+    /** Engine choice. Facts are engine-identical by construction. */
+    SimEngine engine = SimEngine::Compiled;
+    /**
+     * Batch lanes for the compiled engine (clamped to
+     * [1, sim::kMaxLanes]). Results are lane-count invariant.
+     */
+    unsigned lanes = sim::kDefaultLanes;
+    /** Worker threads fanning batches; results are thread-count
+     *  invariant. */
+    unsigned threads = 4;
 };
 
 /** Everything one exact Reachable PL Set's runs established. */
 struct SimSetFact
 {
     std::vector<uhb::PlId> set;
-    /** One representative witness (inputs + replayable trace). */
+    /** One representative witness (inputs + replayable watch trace). */
     bmc::Witness witness;
     /** PLs observed revisited consecutively / non-consecutively. */
     std::set<uhb::PlId> consec, nonconsec;
@@ -73,6 +99,10 @@ struct SimFacts
     /** Observed successor patterns per decision source. */
     std::map<uhb::PlId, std::set<std::vector<uhb::PlId>>> succ;
 };
+
+/** Deep equality over facts, witnesses included. Used by the engine
+ *  differential tests and bench_sim_throughput's identity verdict. */
+bool factsEqual(const SimFacts &x, const SimFacts &y);
 
 /** Explore @p iuv's behavior with random constrained simulation. */
 SimFacts exploreSim(const designs::Harness &hx, uhb::InstrId iuv,
@@ -94,6 +124,10 @@ struct SimRun
  * transmitter-marked (equal positions mark one instruction as both).
  * @p extra may inject additional per-cycle inputs (taint introduction,
  * sticky mode) with access to the pre-step simulator state.
+ *
+ * Always runs on the interpreted Simulator: SynthLC's leakage probes
+ * need pre-step register access in @p extra, and the RNG draw order here
+ * is part of the determinism contract its tests pin down.
  */
 SimRun randomConstrainedRun(
     const designs::Harness &hx, const Design &design, unsigned cycles,

@@ -44,15 +44,38 @@ const char *kStepNames[kNumSteps] = {
     "6b:revisit-counts", "7:decisions",
 };
 
+/** Named-field engine configuration (positional init breaks silently as
+ *  EngineConfig grows). Witness validation rides the compiled tape
+ *  engine: the synthesizer only reads the harness PL trackers (and the
+ *  queries' own supports, added automatically) from witness traces. */
+bmc::EngineConfig
+engineConfigFor(const designs::Harness &hx, const SynthesisConfig &config)
+{
+    bmc::EngineConfig ec;
+    ec.bound = hx.duv().completenessBound;
+    ec.budget = config.budget;
+    ec.validateWitnesses = true;
+    ec.coiPruning = config.coiPruning;
+    ec.auditReplay = config.auditReplay;
+    ec.auditProof = config.auditProof;
+    ec.compiledReplay = true;
+    ec.witnessWatch.push_back(hx.iuvGone);
+    for (uhb::PlId p = 0; p < hx.numPls(); p++) {
+        const designs::PlSignals &ps = hx.plSig(p);
+        ec.witnessWatch.push_back(ps.occupied);
+        ec.witnessWatch.push_back(ps.iuvAt);
+        ec.witnessWatch.push_back(ps.iuvVisited);
+        ec.witnessWatch.push_back(ps.visitCount);
+    }
+    return ec;
+}
+
 } // anonymous namespace
 
 MuPathSynthesizer::MuPathSynthesizer(const designs::Harness &harness,
                                      const SynthesisConfig &config)
     : hx(harness), cfg(config),
-      pool_(harness.design(),
-            bmc::EngineConfig{harness.duv().completenessBound, config.budget,
-                              true, config.coiPruning, config.auditReplay,
-                              config.auditProof},
+      pool_(harness.design(), engineConfigFor(harness, config),
             exec::ExecConfig{config.jobs, config.lanes}),
       base(harness.baseAssumes())
 {

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
 #include "rtlir/design.hh"
 
 namespace rmp
@@ -25,7 +26,14 @@ namespace rmp
 /** Input valuations for one cycle: SigId of an Input cell -> value. */
 using InputMap = std::unordered_map<SigId, uint64_t>;
 
-/** A simulated execution trace: per cycle, the value of every signal. */
+/**
+ * A simulated execution trace: per cycle, the value of every signal.
+ *
+ * Watch-set traces (BatchSim::laneTrace, compiled witness replay) use the
+ * same representation sparsely: frames stay full-width but only watched
+ * signals carry values — everything else reads as zero. Consumers of such
+ * traces must restrict themselves to the watch set.
+ */
 struct SimTrace
 {
     /** frames[t][sig] = value of sig during cycle t (masked to width). */
@@ -34,8 +42,18 @@ struct SimTrace
     size_t numCycles() const { return frames.size(); }
     uint64_t value(size_t cycle, SigId sig) const
     {
+#if !defined(NDEBUG)
+        rmp_assert(cycle < frames.size(),
+                   "trace cycle %zu out of range (%zu cycles)", cycle,
+                   frames.size());
+        rmp_assert(sig < frames[cycle].size(),
+                   "trace signal %u out of range (%zu signals)", sig,
+                   frames[cycle].size());
+#endif
         return frames[cycle][sig];
     }
+    /** Pre-reserve frame storage for @p cycles cycles. */
+    void reserveCycles(size_t cycles) { frames.reserve(cycles); }
 };
 
 /**
@@ -71,6 +89,10 @@ class Simulator
 
     /** Enable/disable trace recording (on by default). */
     void setRecording(bool on) { recording = on; }
+
+    /** Pre-reserve trace storage for @p cycles cycles (allocation-churn
+     *  fix: hot callers that know their horizon reserve up front). */
+    void reserveTrace(size_t cycles) { trace_.reserveCycles(cycles); }
 
   private:
     const Design &d;

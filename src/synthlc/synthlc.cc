@@ -68,17 +68,31 @@ buildFsmTaintWires(const designs::Harness &hx, const ift::Instrumented &inst)
     return out;
 }
 
+/** Named-field engine configuration (positional init breaks silently as
+ *  EngineConfig grows). SynthLC never reads witness traces — only
+ *  outcomes — so compiled witness validation needs no extra watch
+ *  signals beyond the queries' own supports. */
+bmc::EngineConfig
+engineConfigFor(const designs::Harness &hx, const SynthLcConfig &config)
+{
+    bmc::EngineConfig ec;
+    ec.bound = config.bound ? config.bound : hx.duv().completenessBound;
+    ec.budget = config.budget;
+    ec.validateWitnesses = true;
+    ec.coiPruning = config.coiPruning;
+    ec.auditReplay = config.auditReplay;
+    ec.auditProof = config.auditProof;
+    ec.compiledReplay = true;
+    return ec;
+}
+
 } // anonymous namespace
 
 SynthLc::SynthLc(const designs::Harness &harness, const SynthLcConfig &config)
     : hx(harness), cfg(config),
       inst(ift::instrument(hx.design(), iftConfigFor(harness))),
       fsmTaint(buildFsmTaintWires(harness, inst)),
-      pool_(*inst.design,
-            bmc::EngineConfig{config.bound ? config.bound
-                                           : hx.duv().completenessBound,
-                              config.budget, true, config.coiPruning,
-                              config.auditReplay, config.auditProof},
+      pool_(*inst.design, engineConfigFor(harness, config),
             exec::ExecConfig{config.jobs, config.lanes}),
       base(hx.baseAssumes())
 {

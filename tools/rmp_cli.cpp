@@ -63,6 +63,13 @@ usage(std::FILE *f)
         "  --jobs N       worker threads for property evaluation\n"
         "                 (default: hardware concurrency; verdicts are\n"
         "                 identical for every value)\n"
+        "  --sim-lanes N  SoA lanes per compiled-simulation batch (1-16,\n"
+        "                 default 8; results identical for every value)\n"
+        "  --sim-threads N\n"
+        "                 threads fanning compiled-simulation batches\n"
+        "                 (default 4; results identical for every value)\n"
+        "  --sim-interp   use the interpreted reference simulator for\n"
+        "                 exploration instead of the compiled op tape\n"
         "  --coi          unroll only each query's sequential cone of\n"
         "                 influence (verdicts unchanged; prints COI stats)\n"
         "  --check-verdicts[=replay|proof|all]\n"
@@ -142,6 +149,9 @@ struct CliOptions
     bool stats = false;
     bool progress = false;
     unsigned jobs = 0; // 0 = hardware_concurrency()
+    unsigned simLanes = sim::kDefaultLanes;
+    unsigned simThreads = 4;
+    bool simInterp = false;
     std::string dotDir;
     std::string vcdFile;
     std::string traceFile;
@@ -190,6 +200,14 @@ parseOptions(int argc, char **argv, int first)
             o.progress = true;
         else if (a == "--jobs")
             o.jobs = static_cast<unsigned>(std::stoul(need("--jobs")));
+        else if (a == "--sim-lanes")
+            o.simLanes =
+                static_cast<unsigned>(std::stoul(need("--sim-lanes")));
+        else if (a == "--sim-threads")
+            o.simThreads =
+                static_cast<unsigned>(std::stoul(need("--sim-threads")));
+        else if (a == "--sim-interp")
+            o.simInterp = true;
         else if (a == "--dot")
             o.dotDir = need("--dot");
         else if (a == "--vcd")
@@ -217,6 +235,10 @@ synthConfig(const CliOptions &o)
     c.coiPruning = o.coi;
     c.auditReplay = o.checkReplay;
     c.auditProof = o.checkProof;
+    c.explore.engine = o.simInterp ? r2m::SimEngine::Interpreted
+                                   : r2m::SimEngine::Compiled;
+    c.explore.lanes = o.simLanes;
+    c.explore.threads = o.simThreads;
     return c;
 }
 
@@ -315,13 +337,19 @@ cmdUpaths(const std::string &duv, const std::string &instr,
     }
     if (!o.vcdFile.empty() && !r.paths.empty()) {
         // Re-derive the first path's witness trace via its schedule run.
-        // The synthesizer stores only the schedule; export the whole
-        // exploration trace instead.
+        // The synthesizer stores only the schedule; export a whole
+        // exploration witness instead. Exploration traces are sparse
+        // (watch-set only), so replay the witness inputs through the
+        // full interpreted simulator to get every signal for the VCD.
         r2m::SimFacts f = r2m::exploreSim(hx, hx.duv().instrId(instr),
-                                          r2m::SimExploreConfig{});
+                                          synthConfig(o).explore);
         if (!f.sets.empty()) {
-            writeVcd(hx.design(), f.sets.begin()->second.witness.trace,
-                     o.vcdFile);
+            const bmc::Witness &w = f.sets.begin()->second.witness;
+            Simulator replay(hx.design());
+            replay.reserveTrace(w.inputs.size());
+            for (const InputMap &in : w.inputs)
+                replay.step(in);
+            writeVcd(hx.design(), replay.trace(), o.vcdFile);
             std::printf("wrote %s\n", o.vcdFile.c_str());
         }
     }
