@@ -1,23 +1,24 @@
 /**
  * @file
- * Compiled-engine throughput: the op-tape batched simulator (DESIGN.md
- * §3h) against the interpreted reference on the exploration workload
- * that dominates semi-formal synthesis.
+ * Compiled-engine throughput: the tape backends (interpreter / explicit
+ * SIMD / per-design native codegen, DESIGN.md §3h) against the
+ * interpreted reference on the exploration workload that dominates
+ * semi-formal synthesis.
  *
  * The paper's flow leans on massive randomized simulation before any
  * formal query runs (§VII-B); our reproduction's equivalent is
  * exploreSim, which simulates thousands of random constrained programs
- * per instruction. This bench measures simulated cycles/second for both
- * engines on tiny3 and mcva at the default lane/thread configuration and
- * reports the speedup.
+ * per instruction. This bench sweeps the full execution matrix —
+ * backend × lane width (P ∈ {4, 8, 16}) × worker threads — on tiny3 and
+ * mcva, reports simulated cycles/second and speedup over the
+ * interpreted engine for every cell, and records the whole matrix in
+ * BENCH_sim_throughput.json (plus the best configuration per design).
  *
  * Equivalence is the exit code, not the timing: exploration facts —
- * witnesses included — must be bit-identical across engines for every
- * instruction (factsEqual), and a full semi-formal synthesis run on each
- * engine must render byte-identical μPATHs. A compiled engine that is
- * fast but wrong fails the bench.
- *
- * Machine-readable results land in BENCH_sim_throughput.json.
+ * witnesses included — must be bit-identical across every backend,
+ * lane width, and thread count (factsEqual), and a full semi-formal
+ * synthesis run per backend must render byte-identical μPATHs. A
+ * backend that is fast but wrong fails the bench.
  */
 
 #include <chrono>
@@ -26,6 +27,8 @@
 #include "designs/mcva.hh"
 #include "designs/tiny3.hh"
 #include "rtl2mupath/sim_explore.hh"
+#include "sim/codegen.hh"
+#include "sim/simd.hh"
 
 using namespace rmp;
 using namespace rmp::bench;
@@ -41,11 +44,11 @@ struct EngineRun
     double cyclesPerSec = 0;
 };
 
-/** Explore every instruction on one engine, discarding the facts: the
- *  timed passes measure exploration alone, without hundreds of MB of
- *  accumulated witnesses distorting the allocator and caches. The
- *  engines are deterministic, so the untimed verification pass below
- *  re-derives and compares the exact same facts. */
+/** Explore every instruction on one configuration, discarding the
+ *  facts: the timed passes measure exploration alone, without hundreds
+ *  of MB of accumulated witnesses distorting the allocator and caches.
+ *  The engines are deterministic, so the untimed verification pass
+ *  below re-derives and compares the exact same facts. */
 void
 exploreAll(const Harness &hx, const r2m::SimExploreConfig &cfg,
            EngineRun &er)
@@ -61,8 +64,9 @@ exploreAll(const Harness &hx, const r2m::SimExploreConfig &cfg,
     er.cyclesPerSec = er.wall > 0 ? double(er.cycles) / er.wall : 0;
 }
 
-/** Untimed equivalence pass: per instruction, explore on both engines
- *  and compare facts (witnesses included), freeing as it goes. */
+/** Untimed equivalence pass at reduced run count: per instruction,
+ *  compare the cell's facts (witnesses included) against the
+ *  interpreted reference, freeing as it goes. */
 bool
 factsAgree(const Harness &hx, const r2m::SimExploreConfig &icfg,
            const r2m::SimExploreConfig &ccfg)
@@ -76,10 +80,11 @@ factsAgree(const Harness &hx, const r2m::SimExploreConfig &icfg,
 
 /** Full semi-formal synthesis with the given engine; rendered μPATHs. */
 std::string
-synthRender(Harness &hx, r2m::SimEngine eng)
+synthRender(Harness &hx, r2m::SimEngine eng, sim::SimBackend backend)
 {
     r2m::SynthesisConfig scfg = benchSynthConfig();
     scfg.explore.engine = eng;
+    scfg.explore.backend = backend;
     r2m::MuPathSynthesizer synth(hx, scfg);
     std::vector<uhb::InstrId> ids;
     for (uhb::InstrId i = 0; i < hx.duv().instrs.size(); i++)
@@ -103,23 +108,32 @@ engineJson(const EngineRun &er)
     return j.str();
 }
 
+constexpr sim::SimBackend kBackends[] = {
+    sim::SimBackend::Tape, sim::SimBackend::Simd, sim::SimBackend::Native};
+constexpr unsigned kLaneWidths[] = {4, 8, 16};
+constexpr unsigned kThreadCounts[] = {1, 4};
+
 } // namespace
 
 int
 main()
 {
-    banner("compiled batched simulation — exploration throughput");
+    banner("compiled batched simulation — backend throughput matrix");
 
     r2m::SimExploreConfig cfg;
     cfg.runs = fullMode() ? 6000 : 1500;
+    const unsigned eqRuns = fullMode() ? 1200 : 300;
+    const bool haveCc = sim::nativeCompilerAvailable();
 
     bool factsMatch = true, pathsMatch = true;
     JsonReport out;
     out.put("bench", std::string("sim_throughput"));
     out.put("runs_per_instruction", uint64_t(cfg.runs));
-    out.put("lanes", uint64_t(cfg.lanes));
-    out.put("threads", uint64_t(cfg.threads));
-    double mcvaSpeedup = 0;
+    out.put("equivalence_runs", uint64_t(eqRuns));
+    out.put("simd_isa", std::string(sim::simdIsa(8)));
+    out.putRaw("native_compiler", haveCc ? "true" : "false");
+    double mcvaBest = 0;
+    std::string mcvaBestCfg;
 
     for (const char *name : {"tiny3", "mcva"}) {
         Harness hx(std::string(name) == "tiny3" ? buildTiny3()
@@ -130,43 +144,92 @@ main()
 
         r2m::SimExploreConfig icfg = cfg;
         icfg.engine = r2m::SimEngine::Interpreted;
-        EngineRun interp, compiled;
+        EngineRun interp;
         exploreAll(hx, icfg, interp);
-
-        r2m::SimExploreConfig ccfg = cfg;
-        ccfg.engine = r2m::SimEngine::Compiled;
-        exploreAll(hx, ccfg, compiled);
-
-        double speedup = interp.wall > 0 && compiled.wall > 0
-                             ? interp.wall / compiled.wall
-                             : 0;
-        if (std::string(name) == "mcva")
-            mcvaSpeedup = speedup;
-        std::printf("  interpreted: %8.0f cycles/s  (%.2fs)\n",
+        std::printf("  interpreted: %10.0f cycles/s  (%.2fs)\n",
                     interp.cyclesPerSec, interp.wall);
-        std::printf("  compiled:    %8.0f cycles/s  (%.2fs, %u lanes x "
-                    "%u threads)\n",
-                    compiled.cyclesPerSec, compiled.wall, cfg.lanes,
-                    cfg.threads);
-        std::printf("  speedup: %.1fx\n", speedup);
 
-        bool fm = factsAgree(hx, icfg, ccfg);
-        factsMatch = factsMatch && fm;
-        std::printf("  exploration facts (witnesses included): %s\n",
-                    fm ? "identical" : "MISMATCH");
+        r2m::SimExploreConfig eqIcfg = icfg;
+        eqIcfg.runs = eqRuns;
 
-        std::string ri = synthRender(hx, r2m::SimEngine::Interpreted);
-        std::string rc = synthRender(hx, r2m::SimEngine::Compiled);
-        bool pm = ri == rc;
+        double best = 0;
+        std::string bestCfg;
+        std::string cells; // JSON array of per-cell objects
+        for (sim::SimBackend be : kBackends) {
+            for (unsigned lanes : kLaneWidths) {
+                for (unsigned threads : kThreadCounts) {
+                    r2m::SimExploreConfig ccfg = cfg;
+                    ccfg.engine = r2m::SimEngine::Compiled;
+                    ccfg.backend = be;
+                    ccfg.lanes = lanes;
+                    ccfg.threads = threads;
+                    if (be == sim::SimBackend::Native) {
+                        // Warm the native kernel cache so the timed pass
+                        // measures execution, not the one-off compile.
+                        r2m::SimExploreConfig warm = ccfg;
+                        warm.runs = lanes;
+                        r2m::exploreSim(hx, 0, warm);
+                    }
+                    EngineRun er;
+                    exploreAll(hx, ccfg, er);
+                    double speedup =
+                        interp.wall > 0 && er.wall > 0
+                            ? interp.wall / er.wall
+                            : 0;
+                    r2m::SimExploreConfig eqCcfg = ccfg;
+                    eqCcfg.runs = eqRuns;
+                    bool fm = factsAgree(hx, eqIcfg, eqCcfg);
+                    factsMatch = factsMatch && fm;
+
+                    const std::string label =
+                        std::string(sim::backendName(be)) + " P=" +
+                        std::to_string(lanes) + " T=" +
+                        std::to_string(threads);
+                    std::printf("  %-18s %10.0f cycles/s  %6.1fx  "
+                                "facts %s\n",
+                                label.c_str(), er.cyclesPerSec, speedup,
+                                fm ? "identical" : "MISMATCH");
+                    if (speedup > best) {
+                        best = speedup;
+                        bestCfg = label;
+                    }
+
+                    JsonReport c;
+                    c.put("backend",
+                          std::string(sim::backendName(be)));
+                    c.put("lanes", uint64_t(lanes));
+                    c.put("threads", uint64_t(threads));
+                    c.putRaw("run", engineJson(er));
+                    c.put("speedup", speedup);
+                    c.putRaw("facts_match", fm ? "true" : "false");
+                    cells += (cells.empty() ? "" : ",\n  ") + c.str();
+                }
+            }
+        }
+        std::printf("  best: %s at %.1fx over interpreted\n",
+                    bestCfg.c_str(), best);
+        if (std::string(name) == "mcva") {
+            mcvaBest = best;
+            mcvaBestCfg = bestCfg;
+        }
+
+        // Backend-invariant μPATHs: interpreted vs every backend.
+        std::string ri =
+            synthRender(hx, r2m::SimEngine::Interpreted,
+                        sim::SimBackend::Tape);
+        bool pm = true;
+        for (sim::SimBackend be : kBackends)
+            pm = pm &&
+                 ri == synthRender(hx, r2m::SimEngine::Compiled, be);
         pathsMatch = pathsMatch && pm;
-        std::printf("  synthesized uPATHs across engines: %s\n",
+        std::printf("  synthesized uPATHs across backends: %s\n",
                     pm ? "byte-identical" : "MISMATCH");
 
         JsonReport d;
         d.putRaw("interpreted", engineJson(interp));
-        d.putRaw("compiled", engineJson(compiled));
-        d.put("speedup", speedup);
-        d.putRaw("facts_match", fm ? "true" : "false");
+        d.putRaw("configs", "[" + cells + "]");
+        d.put("best_speedup", best);
+        d.put("best_config", bestCfg);
         d.putRaw("paths_match", pm ? "true" : "false");
         out.putRaw(name, d.str());
     }
@@ -174,9 +237,9 @@ main()
     paperNote("the flow front-loads randomized simulation before formal "
               "queries (§VII-B); throughput bounds how much reachability "
               "evidence the semi-formal mode can gather",
-              strfmt("compiled op-tape engine reaches %.1fx interpreted "
-                     "throughput on mcva at default lanes/threads",
-                     mcvaSpeedup));
+              strfmt("best backend configuration reaches %.1fx "
+                     "interpreted throughput on mcva (%s)",
+                     mcvaBest, mcvaBestCfg.c_str()));
 
     out.putRaw("facts_match", factsMatch ? "true" : "false");
     out.putRaw("paths_match", pathsMatch ? "true" : "false");
@@ -186,12 +249,12 @@ main()
     else
         std::printf("\nFAILED to write %s\n", path);
     if (!factsMatch || !pathsMatch) {
-        std::printf("FAIL: engines disagree (facts %s, paths %s)\n",
+        std::printf("FAIL: backends disagree (facts %s, paths %s)\n",
                     factsMatch ? "ok" : "mismatch",
                     pathsMatch ? "ok" : "mismatch");
         return 1;
     }
-    std::printf("engines agree on every fact and every synthesized "
+    std::printf("backends agree on every fact and every synthesized "
                 "uPATH\n");
     return 0;
 }

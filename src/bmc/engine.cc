@@ -366,10 +366,10 @@ replayWitnessCompiled(const sim::Tape &tape, const Design &design,
                       const std::vector<InputMap> &inputs,
                       const prop::ExprRef &seq,
                       const std::vector<prop::ExprRef> &assumes,
-                      unsigned bound)
+                      unsigned bound, sim::SimBackend backend)
 {
     ReplayCheck rc;
-    sim::BatchSim bs(tape, 1);
+    sim::BatchSim bs(tape, 1, backend);
     bs.reserveTrace(std::min<size_t>(bound, inputs.size()));
     for (unsigned t = 0; t < bound && t < inputs.size(); t++) {
         bs.clearInputs();
@@ -407,8 +407,8 @@ Engine::replayTapeFor(const prop::ExprRef &seq,
     // query template's support is already covered and the tape is shared
     // across all replays on this engine.
     if (grew)
-        replayTape_ =
-            std::make_unique<sim::Tape>(sim::compileTape(d, replayWatch_));
+        replayTape_ = std::make_unique<sim::Tape>(
+            sim::compileTape(d, replayWatch_, &replayFold_));
     return *replayTape_;
 }
 
@@ -452,7 +452,8 @@ Engine::extractWitness(Ctx &ctx, const prop::ExprRef &seq,
         ReplayCheck rc =
             cfg.compiledReplay && !cfg.auditReplay
                 ? replayWitnessCompiled(replayTapeFor(seq, assumes), d,
-                                        w.inputs, seq, assumes, cfg.bound)
+                                        w.inputs, seq, assumes, cfg.bound,
+                                        cfg.simBackend)
                 : replayWitness(d, w.inputs, seq, assumes, cfg.bound);
         if (cfg.auditReplay && audit) {
             // Audit mode records the mismatch for the caller to report

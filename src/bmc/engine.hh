@@ -41,6 +41,7 @@
 #include "prop/property.hh"
 #include "sat/drat.hh"
 #include "sat/solver.hh"
+#include "sim/batch.hh"
 #include "sim/simulator.hh"
 #include "sim/tape.hh"
 
@@ -92,12 +93,11 @@ ReplayCheck replayWitness(const Design &design,
  * watched signals carry values. Never used by the verdict audit, which
  * stays on the interpreted oracle (DESIGN.md §3g/§3h).
  */
-ReplayCheck replayWitnessCompiled(const sim::Tape &tape,
-                                  const Design &design,
-                                  const std::vector<InputMap> &inputs,
-                                  const prop::ExprRef &seq,
-                                  const std::vector<prop::ExprRef> &assumes,
-                                  unsigned bound);
+ReplayCheck replayWitnessCompiled(
+    const sim::Tape &tape, const Design &design,
+    const std::vector<InputMap> &inputs, const prop::ExprRef &seq,
+    const std::vector<prop::ExprRef> &assumes, unsigned bound,
+    sim::SimBackend backend = sim::SimBackend::Tape);
 
 /** A concrete witness for a Reachable cover. */
 struct Witness
@@ -199,6 +199,10 @@ struct EngineConfig
      * never rides the engine it is meant to check.
      */
     bool compiledReplay = false;
+    /** Execution backend for compiledReplay (bit-identical by contract;
+     *  replay batches are single-lane, so the default interpreter tape
+     *  kernel is usually the right choice). */
+    sim::SimBackend simBackend = sim::SimBackend::Tape;
     /**
      * Signals witness traces must expose under compiledReplay beyond
      * the query's own support (e.g. the harness PL trackers μPATH
@@ -349,6 +353,8 @@ class Engine
     std::unique_ptr<sim::Tape> replayTape_;
     std::vector<SigId> replayWatch_;
     std::vector<uint8_t> replayWatched_; ///< bitmap over SigIds
+    /** Memoized constant folding across watch-closure recompiles. */
+    sim::FoldCache replayFold_;
     /// @}
 };
 

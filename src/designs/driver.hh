@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "designs/harness.hh"
+#include "sim/batch.hh"
 #include "sim/simulator.hh"
 #include "sim/tape.hh"
 
@@ -42,8 +43,10 @@ struct ProgInstr
 class ProgramDriver
 {
   public:
-    /** @p compiled selects the op-tape engine (watch-set traces). */
-    explicit ProgramDriver(const Harness &harness, bool compiled = false);
+    /** @p compiled selects the op-tape engine (watch-set traces);
+     *  @p backend picks its execution kernel (bit-identical results). */
+    explicit ProgramDriver(const Harness &harness, bool compiled = false,
+                           sim::SimBackend backend = sim::SimBackend::Tape);
 
     /**
      * Run @p prog, then keep simulating idle cycles until @p total_cycles
@@ -71,6 +74,7 @@ class ProgramDriver
     const Harness &hx;
     /** Observation-watch tape (compiled engine only, built once). */
     std::unique_ptr<sim::Tape> tape_;
+    sim::SimBackend backend_ = sim::SimBackend::Tape;
 };
 
 } // namespace rmp::designs

@@ -59,6 +59,7 @@ engineConfigFor(const designs::Harness &hx, const SynthesisConfig &config)
     ec.auditReplay = config.auditReplay;
     ec.auditProof = config.auditProof;
     ec.compiledReplay = true;
+    ec.simBackend = config.explore.backend;
     ec.witnessWatch.push_back(hx.iuvGone);
     for (uhb::PlId p = 0; p < hx.numPls(); p++) {
         const designs::PlSignals &ps = hx.plSig(p);

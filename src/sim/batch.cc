@@ -3,11 +3,25 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/codegen.hh"
+#include "sim/simd.hh"
 
 namespace rmp::sim
 {
 
-BatchSim::BatchSim(const Tape &tape, unsigned lanes) : tp(tape)
+const char *
+backendName(SimBackend b)
+{
+    switch (b) {
+      case SimBackend::Tape: return "tape";
+      case SimBackend::Simd: return "simd";
+      case SimBackend::Native: return "native";
+    }
+    return "?";
+}
+
+BatchSim::BatchSim(const Tape &tape, unsigned lanes, SimBackend backend)
+    : tp(tape)
 {
     rmp_assert(lanes >= 1 && lanes <= kMaxLanes,
                "lane count %u outside [1, %u]", lanes, kMaxLanes);
@@ -15,6 +29,14 @@ BatchSim::BatchSim(const Tape &tape, unsigned lanes) : tp(tape)
     P_ = 1;
     while (P_ < lanes)
         P_ <<= 1;
+    backend_ = active_ = backend;
+    if (backend_ == SimBackend::Native) {
+        native_ = NativeKernel::acquire(tp, P_);
+        if (native_)
+            nativeFn_ = native_->fn();
+        else
+            active_ = SimBackend::Simd; // no compiler / compile failed
+    }
     valsStore_.resize(size_t(tp.numSlots) * P_ + 7);
     vals_ = reinterpret_cast<uint64_t *>(
         (reinterpret_cast<uintptr_t>(valsStore_.data()) + 63) &
@@ -309,13 +331,23 @@ BatchSim::step()
             dst[l] = src[l] & m;
     }
 
-    switch (P_) {
-      case 1: evalOps<1>(); break;
-      case 2: evalOps<2>(); break;
-      case 4: evalOps<4>(); break;
-      case 8: evalOps<8>(); break;
-      case 16: evalOps<16>(); break;
-      default: rmp_panic("unsupported physical lane count %u", P_);
+    switch (active_) {
+      case SimBackend::Native:
+        nativeFn_(vals_);
+        break;
+      case SimBackend::Simd:
+        simdEvalOps(tp, vals_, P_);
+        break;
+      case SimBackend::Tape:
+        switch (P_) {
+          case 1: evalOps<1>(); break;
+          case 2: evalOps<2>(); break;
+          case 4: evalOps<4>(); break;
+          case 8: evalOps<8>(); break;
+          case 16: evalOps<16>(); break;
+          default: rmp_panic("unsupported physical lane count %u", P_);
+        }
+        break;
     }
 
     // Record watched values pre-latch: this is the cycle's frame.

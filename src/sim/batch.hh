@@ -27,6 +27,7 @@
 #define SIM_BATCH_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.hh"
@@ -35,6 +36,8 @@
 namespace rmp::sim
 {
 
+class NativeKernel;
+
 /** Largest supported physical lane width. */
 inline constexpr unsigned kMaxLanes = 16;
 
@@ -42,11 +45,32 @@ inline constexpr unsigned kMaxLanes = 16;
  *  per four ops' worth of loop unrolling; measured sweet spot). */
 inline constexpr unsigned kDefaultLanes = 8;
 
+/**
+ * Which kernel executes the op program. All backends are bit-identical
+ * by contract (the differential suites enforce it); they differ only in
+ * throughput and availability:
+ *
+ *   Tape    computed-goto interpreter, one indirect jump per same-opcode
+ *           run; always available (the compiled baseline).
+ *   Simd    explicit vector kernels (AVX2/SSE2/NEON/portable), one
+ *           dispatch per run and intrinsics across lanes.
+ *   Native  per-design straight-line C, compiled and cached on disk,
+ *           zero dispatch; falls back to Simd when no compiler exists.
+ */
+enum class SimBackend : uint8_t {
+    Tape,
+    Simd,
+    Native,
+};
+
+const char *backendName(SimBackend b);
+
 class BatchSim
 {
   public:
     /** @p lanes in [1, kMaxLanes]; rounded up to a power of two. */
-    BatchSim(const Tape &tape, unsigned lanes);
+    BatchSim(const Tape &tape, unsigned lanes,
+             SimBackend backend = SimBackend::Tape);
 
     /** Back to the reset state; clears the recorded frames. */
     void reset();
@@ -55,6 +79,12 @@ class BatchSim
     unsigned lanes() const { return lanes_; }
     /** Physical (padded power-of-two) lane count. */
     unsigned physLanes() const { return P_; }
+
+    /** Requested execution backend. */
+    SimBackend backend() const { return backend_; }
+    /** Backend actually running (== backend() unless Native fell back
+     *  to Simd because no kernel could be compiled or loaded). */
+    SimBackend activeBackend() const { return active_; }
 
     /** @name Per-cycle input staging */
     /// @{
@@ -120,6 +150,11 @@ class BatchSim
     const Tape &tp;
     unsigned lanes_ = 1;
     unsigned P_ = 1;
+    SimBackend backend_ = SimBackend::Tape;
+    SimBackend active_ = SimBackend::Tape;
+    /** Keeps the dlopen'd kernel alive for the Native backend. */
+    std::shared_ptr<const NativeKernel> native_;
+    void (*nativeFn_)(uint64_t *) = nullptr;
     /** Backing store for vals_, over-allocated so the aligned pointer
      *  always has numSlots * P valid elements behind it. */
     std::vector<uint64_t> valsStore_;

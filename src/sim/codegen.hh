@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-design native codegen: the tape as straight-line C, compiled once
+ * and dlopen'd (DESIGN.md §3h, "Backend selection").
+ *
+ * The op tape is a fixed program per (design, watch set, lane count) —
+ * exactly the situation where static recompilation beats interpretation:
+ * emitTapeC() prints each op as a block of plain C with the slot
+ * offsets, masks, and lane count folded in as literals, the system C
+ * compiler turns that into a shared object (vectorizing the fixed-trip
+ * lane loops with full knowledge of -march=native), and BatchSim calls
+ * the resulting function pointer with zero dispatch of any kind.
+ *
+ * Compiled objects are cached under $RMP_CACHE_DIR (default
+ * ~/.cache/rmp), keyed by a fingerprint over the full op program + lane
+ * count + emitter version. The load path is paranoid: the .so must
+ * export the expected symbols AND report the expected fingerprint, or
+ * it is unlinked and rebuilt (stale or corrupted cache entries can only
+ * cost a recompile, never a wrong simulation). When no working compiler
+ * is available, acquire() returns null and BatchSim falls back to the
+ * SIMD interpreter — the native path is an accelerator, never a
+ * requirement.
+ */
+
+#ifndef SIM_CODEGEN_HH
+#define SIM_CODEGEN_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/tape.hh"
+
+namespace rmp::sim
+{
+
+/** Bump when emitTapeC's output or ABI changes: the version feeds the
+ *  fingerprint, so stale cache entries miss instead of mis-executing. */
+inline constexpr uint32_t kNativeCodegenVersion = 1;
+
+/** FNV-1a over the op program, slot/lane geometry, and emitter version.
+ *  Two tapes with equal fingerprints produce identical native code. */
+uint64_t tapeFingerprint(const Tape &tape, unsigned physLanes);
+
+/** The tape as a self-contained C translation unit (exports
+ *  rmp_tape_eval and rmp_tape_fingerprint). */
+std::string emitTapeC(const Tape &tape, unsigned physLanes);
+
+/** Cache directory: $RMP_CACHE_DIR, else ~/.cache/rmp, else a /tmp
+ *  fallback. Created on first use. */
+std::string nativeCacheDir();
+
+/** True when the configured C compiler ($RMP_CC, default "cc") runs. */
+bool nativeCompilerAvailable();
+
+/** Lifetime counters for tests and the bench harness. */
+struct NativeStats
+{
+    uint64_t memHits = 0;   ///< served from the in-process registry
+    uint64_t diskHits = 0;  ///< loaded from a cached .so
+    uint64_t compiles = 0;  ///< emitted + compiled fresh
+    uint64_t rejected = 0;  ///< cache entries unlinked (stale/corrupt)
+    uint64_t fallbacks = 0; ///< acquire() gave up (no compiler, ...)
+};
+
+/**
+ * A loaded per-design native kernel. Holds the dlopen handle for its
+ * lifetime; any number of BatchSim instances may share one kernel (the
+ * eval function is pure w.r.t. everything but the passed value array).
+ */
+class NativeKernel
+{
+  public:
+    /** void rmp_tape_eval(uint64_t *vals) — one full op-program pass. */
+    using EvalFn = void (*)(uint64_t *);
+
+    /**
+     * Get the kernel for @p tape at @p physLanes lanes: from the
+     * in-process registry, the on-disk cache, or a fresh compile, in
+     * that order. Returns null when native execution is unavailable
+     * (no compiler / compile failed) — callers must fall back.
+     */
+    static std::shared_ptr<const NativeKernel>
+    acquire(const Tape &tape, unsigned physLanes);
+
+    ~NativeKernel();
+    NativeKernel(const NativeKernel &) = delete;
+    NativeKernel &operator=(const NativeKernel &) = delete;
+
+    EvalFn fn() const { return fn_; }
+    uint64_t fingerprint() const { return fp_; }
+    /** Path of the backing .so in the cache. */
+    const std::string &path() const { return path_; }
+
+    static NativeStats stats();
+    static void resetStats();
+
+  private:
+    NativeKernel() = default;
+
+    void *dl_ = nullptr;
+    EvalFn fn_ = nullptr;
+    uint64_t fp_ = 0;
+    std::string path_;
+};
+
+} // namespace rmp::sim
+
+#endif // SIM_CODEGEN_HH

@@ -106,7 +106,8 @@ lowerOp(Op op)
 } // anonymous namespace
 
 Tape
-compileTape(const Design &d, const std::vector<SigId> &watch)
+compileTape(const Design &d, const std::vector<SigId> &watch,
+            FoldCache *fold)
 {
     auto t0 = std::chrono::steady_clock::now();
     Tape tp;
@@ -152,30 +153,47 @@ compileTape(const Design &d, const std::vector<SigId> &watch)
             root(c.args[i]);
     }
 
-    // Constant folding over the live comb cells, in topo order so every
-    // argument's foldability is known first.
-    std::vector<uint8_t> folded(d.numCells(), 0);
-    std::vector<uint64_t> cval(d.numCells(), 0);
-    for (SigId id = 0; id < d.numCells(); id++) {
-        if (d.cell(id).op == Op::Const) {
-            folded[id] = 1;
-            cval[id] = d.cell(id).cval.value();
+    // Constant folding, in topo order so every argument's foldability
+    // is known first. Folding is deliberately liveness-independent: a
+    // cell's foldability depends only on its transitive inputs, so the
+    // results hold for any watch set and can be memoized in a FoldCache
+    // across the recompiles of the witness re-derivation path.
+    FoldCache localFold;
+    FoldCache *fc = fold ? fold : &localFold;
+    if (fc->design == &d && fc->numCells == d.numCells()) {
+        fc->hits++;
+        if (obs::enabled())
+            obs::Registry::global().counter("sim.tape_fold_reuse").add(1);
+    } else {
+        fc->design = &d;
+        fc->numCells = d.numCells();
+        fc->hits = 0;
+        fc->folded.assign(d.numCells(), 0);
+        fc->cval.assign(d.numCells(), 0);
+        for (SigId id = 0; id < d.numCells(); id++) {
+            if (d.cell(id).op == Op::Const) {
+                fc->folded[id] = 1;
+                fc->cval[id] = d.cell(id).cval.value();
+            }
+        }
+        for (SigId id : d.topoOrder()) {
+            const Cell &c = d.cell(id);
+            if (fc->folded[id])
+                continue;
+            bool all_const = c.numArgs() > 0;
+            for (unsigned i = 0; i < c.numArgs(); i++)
+                all_const = all_const && fc->folded[c.args[i]];
+            if (all_const) {
+                fc->folded[id] = 1;
+                fc->cval[id] = foldCell(d, c, fc->cval);
+            }
         }
     }
-    for (SigId id : d.topoOrder()) {
-        const Cell &c = d.cell(id);
-        if (!live[id] || folded[id])
-            continue;
-        bool all_const = c.numArgs() > 0;
-        for (unsigned i = 0; i < c.numArgs(); i++)
-            all_const = all_const && folded[c.args[i]];
-        if (all_const) {
-            folded[id] = 1;
-            cval[id] = foldCell(d, c, cval);
-            if (c.op != Op::Const)
-                tp.constsFolded++;
-        }
-    }
+    const std::vector<uint8_t> &folded = fc->folded;
+    const std::vector<uint64_t> &cval = fc->cval;
+    for (SigId id = 0; id < d.numCells(); id++)
+        if (live[id] && folded[id] && d.cell(id).op != Op::Const)
+            tp.constsFolded++;
 
     // Count pruned comb cells (for the stats only).
     for (SigId id = 0; id < d.numCells(); id++)
@@ -419,6 +437,7 @@ compileTape(const Design &d, const std::vector<SigId> &watch)
         tp.watchSlots.push_back(tp.slotOf[s]);
     }
 
+    tp.constsPooled = static_cast<uint32_t>(pool.size());
     tp.compileMs =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
@@ -428,6 +447,7 @@ compileTape(const Design &d, const std::vector<SigId> &watch)
         reg.counter("sim.tape_compiles").add(1);
         reg.gauge("sim.tape_ops").set(static_cast<int64_t>(tp.numOps()));
         reg.gauge("sim.tape_slots").set(tp.numSlots);
+        reg.gauge("sim.tape_consts").set(tp.constsPooled);
         reg.counter("sim.tape_cells_pruned").add(tp.cellsPruned);
         reg.counter("sim.tape_consts_folded").add(tp.constsFolded);
         reg.counter("sim.tape_cells_aliased").add(tp.cellsAliased);

@@ -137,6 +137,9 @@ struct Tape
     uint32_t constsFolded = 0;
     /** Cells elided by identity / absorption / CSE slot aliasing. */
     uint32_t cellsAliased = 0;
+    /** Distinct pooled constant slots (the `sim.tape_consts` metric:
+     *  every folded cell and absorption rewrite shares one of these). */
+    uint32_t constsPooled = 0;
     double compileMs = 0.0;
     /// @}
 
@@ -145,11 +148,36 @@ struct Tape
 };
 
 /**
+ * Memoized constant-folding results for one design, reused across
+ * compileTape() calls. Folding is watch-set independent (every comb
+ * cell's foldability is decided from its transitive inputs alone), but
+ * the witness re-derivation path (bmc::Engine::replayTapeFor) recompiles
+ * the same design's tape every time its watch closure grows — without a
+ * cache each recompile re-derives and re-pools the same constants.
+ * Callers that recompile hold one FoldCache and pass it to every call;
+ * the cache is invalidated automatically if the design changes shape.
+ */
+struct FoldCache
+{
+    const Design *design = nullptr;
+    size_t numCells = 0;
+    /** folded[id] != 0 iff cell id's value is a compile-time constant. */
+    std::vector<uint8_t> folded;
+    /** cval[id] = that constant (meaningful only where folded). */
+    std::vector<uint64_t> cval;
+    /** Number of compiles served from this cache (test observability). */
+    uint32_t hits = 0;
+};
+
+/**
  * Lower @p design into a Tape that preserves, cycle for cycle and bit
  * for bit, the interpreted Simulator's values of every signal in
  * @p watch plus every register. Duplicate watch entries are deduped.
+ * A non-null @p fold memoizes constant folding across repeated calls
+ * on the same design (see FoldCache).
  */
-Tape compileTape(const Design &design, const std::vector<SigId> &watch);
+Tape compileTape(const Design &design, const std::vector<SigId> &watch,
+                 FoldCache *fold = nullptr);
 
 } // namespace rmp::sim
 

@@ -83,6 +83,7 @@ engineConfigFor(const designs::Harness &hx, const SynthLcConfig &config)
     ec.auditReplay = config.auditReplay;
     ec.auditProof = config.auditProof;
     ec.compiledReplay = true;
+    ec.simBackend = config.simBackend;
     return ec;
 }
 

@@ -162,6 +162,36 @@ TEST(Cli, CheckVerdictsAuditsEveryVerdictCleanly)
         << r.output;
 }
 
+TEST(Cli, SimLanesRejectsUnsupportedWidthsAtTheBoundary)
+{
+    // Invalid lane widths must die at argument parsing — exit 2 with
+    // the usage text naming the supported widths — not deep inside the
+    // engine as an assertion.
+    for (const char *bad : {"0", "17", "99", "abc", "8x", ""}) {
+        RunResult r = run("bugs tiny3 --sim-lanes '" +
+                          std::string(bad) + "'");
+        EXPECT_EQ(r.status, 2) << "--sim-lanes " << bad;
+        EXPECT_TRUE(mentionsUsage(r.output))
+            << "--sim-lanes " << bad << ": " << r.output;
+        EXPECT_NE(r.output.find("supported widths"), std::string::npos)
+            << "--sim-lanes " << bad << ": " << r.output;
+    }
+}
+
+TEST(Cli, SimBackendRejectsUnknownAndAcceptsKnown)
+{
+    RunResult bad = run("bugs tiny3 --sim-backend bogus");
+    EXPECT_EQ(bad.status, 2);
+    EXPECT_TRUE(mentionsUsage(bad.output)) << bad.output;
+
+    RunResult simd = run("bugs tiny3 --sim-backend simd");
+    EXPECT_EQ(simd.status, 0) << simd.output;
+    RunResult tape = run("bugs tiny3 --sim-backend tape");
+    EXPECT_EQ(tape.status, 0) << tape.output;
+    // Backends are bit-identical, so the reports must agree too.
+    EXPECT_EQ(simd.output, tape.output);
+}
+
 TEST(Cli, CheckVerdictsRejectsUnknownMode)
 {
     RunResult r = run("synth tiny3 --check-verdicts=frob");

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Differential tests for the SIMD and native execution backends
+ * (DESIGN.md §3h, "Backend selection"). Two families:
+ *
+ * 1. Boundary-width kernels. The vector kernels manipulate masked
+ *    64-bit lanes, so the widths where mask handling can silently go
+ *    wrong are 1 (everything collapses to one bit), 63 (the widest
+ *    non-trivial mask, (1<<63)-1), and 64 (mask = ~0, where an
+ *    unmasked shift≥width or carry out of bit 63 must wrap exactly).
+ *    A width-65 case is impossible by construction: the IR caps every
+ *    signal at 64 bits (Design::addBinary asserts concat ≤ 64), so the
+ *    64-bit lane is the worst case, not a sample. Each width gets a
+ *    toy design covering every tape opcode — including shift counts
+ *    ≥ 64, which must yield 0 — replayed against the interpreted
+ *    oracle on every backend × lane width.
+ *
+ * 2. Native-kernel cache behavior. The .so cache must hit (memory,
+ *    then disk), miss on a stale fingerprint, reject a corrupted
+ *    object, and fall back to the SIMD interpreter when no compiler
+ *    is available — each observable through NativeKernel::stats() and
+ *    BatchSim::activeBackend(), and none ever allowed to produce a
+ *    wrong value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "designs/harness.hh"
+#include "designs/tiny3.hh"
+#include "sim/batch.hh"
+#include "sim/codegen.hh"
+#include "sim/simd.hh"
+#include "sim/simulator.hh"
+#include "sim/tape.hh"
+
+using namespace rmp;
+
+namespace
+{
+
+/** Point the native-kernel disk cache at a fresh private directory:
+ *  ctest runs suites in parallel, so tests that count disk hits or
+ *  plant corrupted objects must not share ~/.cache/rmp. */
+class ScopedCacheDir
+{
+  public:
+    ScopedCacheDir()
+    {
+        char tmpl[] = "/tmp/rmp-backends-XXXXXX";
+        dir_ = mkdtemp(tmpl);
+        if (const char *old = std::getenv("RMP_CACHE_DIR"))
+            saved_ = old;
+        setenv("RMP_CACHE_DIR", dir_.c_str(), 1);
+    }
+    ~ScopedCacheDir()
+    {
+        if (saved_.empty())
+            unsetenv("RMP_CACHE_DIR");
+        else
+            setenv("RMP_CACHE_DIR", saved_.c_str(), 1);
+        std::system(("rm -rf " + dir_).c_str());
+    }
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string dir_;
+    std::string saved_;
+};
+
+/**
+ * A toy design at bit width @p w exercising every tape opcode: the
+ * boundary-mask torture chamber. The shift-count input is 7 bits wide
+ * so counts ≥ 64 occur and must produce 0, and a register closes the
+ * sequential loop so the two-phase latch path runs too.
+ */
+Design
+buildBoundary(unsigned w)
+{
+    Design d("boundary" + std::to_string(w));
+    SigId a = d.addInput("a", w);
+    SigId b = d.addInput("b", w);
+    SigId s = d.addInput("s", 7); // counts 0..127: ≥64 must yield 0
+    SigId sel = d.addInput("sel", 1);
+
+    std::vector<SigId> outs;
+    outs.push_back(d.addUnary(Op::Not, a, w));
+    outs.push_back(d.addBinary(Op::And, a, b));
+    outs.push_back(d.addBinary(Op::Or, a, b));
+    outs.push_back(d.addBinary(Op::Xor, a, b));
+    outs.push_back(d.addUnary(Op::RedOr, a, 1));
+    outs.push_back(d.addUnary(Op::RedAnd, a, 1));
+    outs.push_back(d.addBinary(Op::Eq, a, b));
+    outs.push_back(d.addBinary(Op::Ult, a, b));
+    outs.push_back(d.addBinary(Op::Add, a, b));
+    outs.push_back(d.addBinary(Op::Sub, a, b));
+    outs.push_back(d.addBinary(Op::Mul, a, b));
+    outs.push_back(d.addBinary(Op::Shl, a, s));
+    outs.push_back(d.addBinary(Op::Shr, b, s));
+    outs.push_back(d.addMux(sel, a, b));
+    if (w > 1) {
+        unsigned half = w / 2;
+        SigId lo = d.addUnary(Op::Slice, a, half, 0);
+        SigId hi = d.addUnary(Op::Slice, a, w - half, half);
+        outs.push_back(lo);
+        outs.push_back(hi);
+        outs.push_back(d.addBinary(Op::Concat, hi, lo));
+    }
+    if (w < 64)
+        outs.push_back(d.addUnary(Op::Zext, a, w + 1));
+
+    // Fold every result into one w-bit accumulator through a register.
+    SigId acc = d.addBinary(Op::Xor, a, b);
+    for (SigId o : outs) {
+        SigId z = d.cell(o).width == w ? o
+                                       : d.addUnary(Op::Zext, o, 64);
+        if (d.cell(z).width != w)
+            z = d.addUnary(Op::Slice, z, w, 0);
+        acc = d.addBinary(Op::Xor, acc, z);
+    }
+    SigId r = d.addReg("r", BitVec(w, 0));
+    d.connectRegNext(r, d.addBinary(Op::Xor, acc, r));
+    return d;
+}
+
+std::vector<SigId>
+watchAll(const Design &d)
+{
+    std::vector<SigId> w(d.numCells());
+    for (SigId i = 0; i < d.numCells(); i++)
+        w[i] = i;
+    return w;
+}
+
+std::vector<InputMap>
+randomProgram(const Design &d, unsigned cycles, uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<InputMap> prog(cycles);
+    for (unsigned t = 0; t < cycles; t++)
+        for (SigId in : d.inputs())
+            prog[t][in] = rng() & BitVec::maskOf(d.width(in));
+    return prog;
+}
+
+/** Mismatching (cycle, watch, lane) positions vs the interpreted
+ *  oracle when running on @p backend with @p lanes lanes. */
+size_t
+diffCount(const Design &d, const sim::Tape &tape, unsigned lanes,
+          sim::SimBackend backend, unsigned cycles, uint64_t seed)
+{
+    std::vector<std::vector<InputMap>> progs;
+    for (unsigned l = 0; l < lanes; l++)
+        progs.push_back(randomProgram(d, cycles, seed + 1000 * l));
+    sim::BatchSim bs(tape, lanes, backend);
+    bs.reserveTrace(cycles);
+    std::vector<Simulator> oracle;
+    for (unsigned l = 0; l < lanes; l++)
+        oracle.emplace_back(d);
+    size_t diffs = 0;
+    for (unsigned t = 0; t < cycles; t++) {
+        bs.clearInputs();
+        for (unsigned l = 0; l < lanes; l++) {
+            bs.stageInputs(l, progs[l][t]);
+            oracle[l].step(progs[l][t]);
+        }
+        bs.step();
+        for (unsigned l = 0; l < lanes; l++)
+            for (size_t k = 0; k < tape.watchSigs.size(); k++)
+                if (bs.watched(t, k, l) !=
+                    oracle[l].value(tape.watchSigs[k]))
+                    diffs++;
+    }
+    return diffs;
+}
+
+} // namespace
+
+TEST(SimBackends, BoundaryWidthsMatchOracleOnEveryBackendAndLaneWidth)
+{
+    ScopedCacheDir cache;
+    const bool haveCc = sim::nativeCompilerAvailable();
+    for (unsigned w : {1u, 63u, 64u}) {
+        Design d = buildBoundary(w);
+        sim::Tape tape = sim::compileTape(d, watchAll(d));
+        for (unsigned lanes : {1u, 2u, 4u, 8u, 16u}) {
+            EXPECT_EQ(diffCount(d, tape, lanes, sim::SimBackend::Simd,
+                                32, 101 + w),
+                      0u)
+                << "simd width " << w << " lanes " << lanes;
+            if (haveCc)
+                EXPECT_EQ(diffCount(d, tape, lanes,
+                                    sim::SimBackend::Native, 32,
+                                    101 + w),
+                          0u)
+                    << "native width " << w << " lanes " << lanes;
+        }
+    }
+}
+
+TEST(SimBackends, SimdIsaReportsSomething)
+{
+    // Whatever the host is, the dispatcher must name its choice.
+    for (unsigned p : {1u, 2u, 4u, 8u, 16u}) {
+        const char *isa = sim::simdIsa(p);
+        ASSERT_NE(isa, nullptr);
+        EXPECT_GT(std::string(isa).size(), 0u) << "P=" << p;
+    }
+}
+
+TEST(SimBackends, NativeCacheHitsMemoryThenDisk)
+{
+    if (!sim::nativeCompilerAvailable())
+        GTEST_SKIP() << "no C compiler on this host";
+    ScopedCacheDir cache;
+    designs::Harness hx(designs::buildTiny3());
+    sim::Tape tape =
+        sim::compileTape(hx.design(), watchAll(hx.design()));
+
+    sim::NativeKernel::resetStats();
+    auto k1 = sim::NativeKernel::acquire(tape, 4);
+    ASSERT_NE(k1, nullptr);
+    EXPECT_EQ(sim::NativeKernel::stats().compiles, 1u);
+
+    // Same tape while k1 is alive: the in-process registry answers.
+    auto k2 = sim::NativeKernel::acquire(tape, 4);
+    ASSERT_EQ(k2.get(), k1.get());
+    EXPECT_EQ(sim::NativeKernel::stats().memHits, 1u);
+
+    // Drop every reference, acquire again: the .so on disk answers.
+    std::string so = k1->path();
+    k1.reset();
+    k2.reset();
+    auto k3 = sim::NativeKernel::acquire(tape, 4);
+    ASSERT_NE(k3, nullptr);
+    EXPECT_EQ(sim::NativeKernel::stats().diskHits, 1u);
+    EXPECT_EQ(sim::NativeKernel::stats().compiles, 1u);
+    EXPECT_EQ(k3->path(), so);
+
+    // A different lane count is a different kernel (lanes are baked
+    // into the emitted C), so it compiles fresh.
+    auto k8 = sim::NativeKernel::acquire(tape, 8);
+    ASSERT_NE(k8, nullptr);
+    EXPECT_NE(k8->fingerprint(), k3->fingerprint());
+    EXPECT_EQ(sim::NativeKernel::stats().compiles, 2u);
+}
+
+TEST(SimBackends, NativeStaleFingerprintMisses)
+{
+    if (!sim::nativeCompilerAvailable())
+        GTEST_SKIP() << "no C compiler on this host";
+    ScopedCacheDir cache;
+    designs::Harness hx(designs::buildTiny3());
+    const Design &d = hx.design();
+    sim::Tape tape = sim::compileTape(d, watchAll(d));
+
+    // Plant the WRONG kernel at the tape's cache path: a valid .so
+    // whose embedded fingerprint belongs to a different tape (the
+    // same tape at a different lane count).
+    auto other = sim::NativeKernel::acquire(tape, 2);
+    ASSERT_NE(other, nullptr);
+    uint64_t fp = sim::tapeFingerprint(tape, 4);
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(fp));
+    std::string victim =
+        sim::nativeCacheDir() + "/tape-" + hex + ".so";
+    ASSERT_EQ(std::system(
+                  ("cp " + other->path() + " " + victim).c_str()),
+              0);
+
+    sim::NativeKernel::resetStats();
+    auto k = sim::NativeKernel::acquire(tape, 4);
+    ASSERT_NE(k, nullptr);
+    EXPECT_EQ(sim::NativeKernel::stats().rejected, 1u)
+        << "the stale object must be unlinked, not trusted";
+    EXPECT_EQ(sim::NativeKernel::stats().compiles, 1u);
+    EXPECT_EQ(k->fingerprint(), fp);
+}
+
+TEST(SimBackends, NativeCorruptedObjectIsRejectedAndRebuilt)
+{
+    if (!sim::nativeCompilerAvailable())
+        GTEST_SKIP() << "no C compiler on this host";
+    ScopedCacheDir cache;
+    designs::Harness hx(designs::buildTiny3());
+    const Design &d = hx.design();
+    sim::Tape tape = sim::compileTape(d, watchAll(d));
+
+    uint64_t fp = sim::tapeFingerprint(tape, 4);
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(fp));
+    std::string so = sim::nativeCacheDir() + "/tape-" + hex + ".so";
+    {
+        std::ofstream f(so, std::ios::binary);
+        f << "this is not an ELF object";
+    }
+
+    sim::NativeKernel::resetStats();
+    auto k = sim::NativeKernel::acquire(tape, 4);
+    ASSERT_NE(k, nullptr);
+    EXPECT_EQ(sim::NativeKernel::stats().rejected, 1u);
+    EXPECT_EQ(sim::NativeKernel::stats().compiles, 1u);
+    // And the rebuilt kernel computes correctly.
+    EXPECT_EQ(diffCount(d, tape, 4, sim::SimBackend::Native, 16, 7),
+              0u);
+}
+
+TEST(SimBackends, MissingCompilerFallsBackToSimd)
+{
+    ScopedCacheDir cache;
+    setenv("RMP_CC", "/nonexistent/definitely-not-a-compiler", 1);
+    designs::Harness hx(designs::buildTiny3());
+    const Design &d = hx.design();
+    sim::Tape tape = sim::compileTape(d, watchAll(d));
+
+    EXPECT_FALSE(sim::nativeCompilerAvailable());
+    sim::NativeKernel::resetStats();
+    EXPECT_EQ(sim::NativeKernel::acquire(tape, 4), nullptr);
+    EXPECT_GE(sim::NativeKernel::stats().fallbacks, 1u);
+
+    // Requesting the native backend must degrade, not fail: BatchSim
+    // lands on the SIMD interpreter and still matches the oracle.
+    sim::BatchSim bs(tape, 4, sim::SimBackend::Native);
+    EXPECT_EQ(bs.backend(), sim::SimBackend::Native);
+    EXPECT_EQ(bs.activeBackend(), sim::SimBackend::Simd);
+    EXPECT_EQ(diffCount(d, tape, 4, sim::SimBackend::Native, 16, 9),
+              0u);
+    unsetenv("RMP_CC");
+}
+
+TEST(SimBackends, FoldCacheReusesAcrossCompilesOfOneDesign)
+{
+    // Satellite property: the const-fold pass is computed once per
+    // design and reused by later compileTape calls on any watch set
+    // (the witness re-derivation path recompiles per witness).
+    designs::Harness hx(designs::buildTiny3());
+    const Design &d = hx.design();
+    sim::FoldCache fold;
+    sim::Tape t1 = sim::compileTape(d, watchAll(d), &fold);
+    EXPECT_EQ(fold.hits, 0u);
+    std::vector<SigId> narrow = {hx.plSig(0).occupied};
+    sim::Tape t2 = sim::compileTape(d, narrow, &fold);
+    EXPECT_EQ(fold.hits, 1u);
+    sim::Tape t3 = sim::compileTape(d, watchAll(d), &fold);
+    EXPECT_EQ(fold.hits, 2u);
+    EXPECT_GT(t1.constsPooled, 0u);
+    // Identical watch set + reused folding ⇒ identical tape program.
+    ASSERT_EQ(t1.numOps(), t3.numOps());
+    EXPECT_EQ(t1.opc, t3.opc);
+    EXPECT_EQ(t1.dst, t3.dst);
+    EXPECT_EQ(t1.mask, t3.mask);
+    // And the cached folding is watch-set independent: both tapes
+    // still match the oracle exactly.
+    EXPECT_EQ(diffCount(d, t2, 2, sim::SimBackend::Simd, 16, 31), 0u);
+    EXPECT_EQ(diffCount(d, t3, 2, sim::SimBackend::Simd, 16, 33), 0u);
+}

@@ -23,6 +23,7 @@
 #include "designs/tiny3.hh"
 #include "rtl2mupath/sim_explore.hh"
 #include "sim/batch.hh"
+#include "sim/codegen.hh"
 #include "sim/simulator.hh"
 #include "sim/tape.hh"
 
@@ -274,12 +275,14 @@ TEST(SimCompiled, TraceValueBoundsCheckedInDebugBuilds)
 }
 #endif
 
-TEST(SimCompiled, ExploreFactsInvariantAcrossEnginesLanesAndThreads)
+TEST(SimCompiled, ExploreFactsInvariantAcrossEnginesLanesThreadsBackends)
 {
     // The acceptance property of the exploration rewrite: SimFacts —
-    // witnesses included — are bit-identical across the engine choice and
+    // witnesses included — are bit-identical across the engine choice,
     // every lane/thread count (runs are seeded per (seed, iuv, run) and
-    // merged serially in run order).
+    // merged serially in run order), and every execution backend
+    // (DESIGN.md §3h: tape interpreter, SIMD kernels, native codegen).
+    const bool haveCc = sim::nativeCompilerAvailable();
     for (const char *duv : {"tiny3", "mcva"}) {
         Harness hx(std::string(duv) == "tiny3" ? buildTiny3()
                                                : buildMcva());
@@ -294,15 +297,25 @@ TEST(SimCompiled, ExploreFactsInvariantAcrossEnginesLanesAndThreads)
         struct Cfg
         {
             unsigned lanes, threads;
+            sim::SimBackend backend;
         };
-        for (Cfg c : {Cfg{1, 1}, Cfg{8, 4}, Cfg{16, 3}, Cfg{5, 2}}) {
+        using B = sim::SimBackend;
+        for (Cfg c : {Cfg{1, 1, B::Tape}, Cfg{8, 4, B::Tape},
+                      Cfg{16, 3, B::Tape}, Cfg{5, 2, B::Tape},
+                      Cfg{1, 1, B::Simd}, Cfg{8, 4, B::Simd},
+                      Cfg{16, 3, B::Simd}, Cfg{5, 2, B::Simd},
+                      Cfg{8, 2, B::Native}, Cfg{16, 1, B::Native}}) {
+            if (c.backend == B::Native && !haveCc)
+                continue;
             r2m::SimExploreConfig cc = base;
             cc.engine = r2m::SimEngine::Compiled;
             cc.lanes = c.lanes;
             cc.threads = c.threads;
+            cc.backend = c.backend;
             r2m::SimFacts got = r2m::exploreSim(hx, iuv, cc);
             EXPECT_TRUE(r2m::factsEqual(ref, got))
-                << duv << " facts diverge at lanes=" << c.lanes
+                << duv << " facts diverge at backend="
+                << sim::backendName(c.backend) << " lanes=" << c.lanes
                 << " threads=" << c.threads;
         }
     }

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -63,13 +64,21 @@ usage(std::FILE *f)
         "  --jobs N       worker threads for property evaluation\n"
         "                 (default: hardware concurrency; verdicts are\n"
         "                 identical for every value)\n"
-        "  --sim-lanes N  SoA lanes per compiled-simulation batch (1-16,\n"
-        "                 default 8; results identical for every value)\n"
+        "  --sim-lanes N  SoA lanes per compiled-simulation batch\n"
+        "                 (supported widths: 1-16, rounded up to a power\n"
+        "                 of two; default 8; results identical for every\n"
+        "                 value)\n"
         "  --sim-threads N\n"
         "                 threads fanning compiled-simulation batches\n"
         "                 (default 4; results identical for every value)\n"
-        "  --sim-interp   use the interpreted reference simulator for\n"
-        "                 exploration instead of the compiled op tape\n"
+        "  --sim-backend interp|tape|simd|native\n"
+        "                 simulation execution backend (default simd):\n"
+        "                 'interp' = interpreted reference simulator,\n"
+        "                 'tape' = compiled op-tape interpreter, 'simd' =\n"
+        "                 explicit vector kernels, 'native' = per-design\n"
+        "                 compiled C (falls back to simd without a C\n"
+        "                 compiler); results identical for every backend\n"
+        "  --sim-interp   shorthand for --sim-backend interp\n"
         "  --coi          unroll only each query's sequential cone of\n"
         "                 influence (verdicts unchanged; prints COI stats)\n"
         "  --check-verdicts[=replay|proof|all]\n"
@@ -152,6 +161,7 @@ struct CliOptions
     unsigned simLanes = sim::kDefaultLanes;
     unsigned simThreads = 4;
     bool simInterp = false;
+    sim::SimBackend simBackend = sim::SimBackend::Simd;
     std::string dotDir;
     std::string vcdFile;
     std::string traceFile;
@@ -200,9 +210,34 @@ parseOptions(int argc, char **argv, int first)
             o.progress = true;
         else if (a == "--jobs")
             o.jobs = static_cast<unsigned>(std::stoul(need("--jobs")));
-        else if (a == "--sim-lanes")
-            o.simLanes =
-                static_cast<unsigned>(std::stoul(need("--sim-lanes")));
+        else if (a == "--sim-lanes") {
+            // Validate at the CLI boundary: BatchSim asserts on bad lane
+            // counts, which is a crash, not a diagnostic.
+            std::string v = need("--sim-lanes");
+            char *end = nullptr;
+            unsigned long n = std::strtoul(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0' || n < 1 ||
+                n > sim::kMaxLanes)
+                usageError("invalid --sim-lanes '%s' (supported widths: "
+                           "1 to 16, rounded up to a power of two)",
+                           v.c_str());
+            o.simLanes = static_cast<unsigned>(n);
+        }
+        else if (a == "--sim-backend") {
+            std::string v = need("--sim-backend");
+            if (v == "interp")
+                o.simInterp = true;
+            else if (v == "tape")
+                o.simBackend = sim::SimBackend::Tape;
+            else if (v == "simd")
+                o.simBackend = sim::SimBackend::Simd;
+            else if (v == "native")
+                o.simBackend = sim::SimBackend::Native;
+            else
+                usageError("unknown --sim-backend '%s' (choose interp, "
+                           "tape, simd, or native)",
+                           v.c_str());
+        }
         else if (a == "--sim-threads")
             o.simThreads =
                 static_cast<unsigned>(std::stoul(need("--sim-threads")));
@@ -239,6 +274,7 @@ synthConfig(const CliOptions &o)
                                    : r2m::SimEngine::Compiled;
     c.explore.lanes = o.simLanes;
     c.explore.threads = o.simThreads;
+    c.explore.backend = o.simBackend;
     return c;
 }
 
@@ -374,6 +410,7 @@ cmdLeakage(const std::string &duv, const std::string &instr,
     lc.jobs = o.jobs;
     lc.auditReplay = o.checkReplay;
     lc.auditProof = o.checkProof;
+    lc.simBackend = o.simBackend;
     slc::SynthLc slc(hx, lc);
     uhb::InstrId p = hx.duv().instrId(instr);
     uhb::InstrPaths r = synth.synthesize(p);
@@ -406,6 +443,7 @@ cmdContracts(const std::string &duv, const CliOptions &o)
     lc.jobs = o.jobs;
     lc.auditReplay = o.checkReplay;
     lc.auditProof = o.checkProof;
+    lc.simBackend = o.simBackend;
     slc::SynthLc slc(hx, lc);
     std::vector<std::string> names = o.instrs;
     if (names.empty()) {
