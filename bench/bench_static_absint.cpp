@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Static cover pruning — the src/analysis abstract-interpretation
+ * fixpoint (known-bits + value sets, sharpened by μFSM reachable-state
+ * enumeration) applied to μPATH synthesis: the same synthesis workload
+ * evaluated with and without `--static-prune`, checked for bit-identical
+ * verdicts and compared on the number of covers discharged without a
+ * solver call.
+ *
+ * The paper's synthesis loop spends most of its formal effort refuting
+ * unreachable covers — PL-occupancy valuations the μFSMs can never
+ * assume (§V-B, §VII-B3). The absint facts refute those statically:
+ * Eq(state_var, dead_value) evaluates to known-false, the occupancy
+ * conjunction collapses, and the engine returns Unreachable without
+ * touching the unroller or solver.
+ *
+ * The stock mcva metadata hand-idles the dead encodings of its 2-bit
+ * μFSMs (scb0/scb1/retire state 3), which bakes the reachability answer
+ * into the DUV annotation instead of deriving it. This bench runs the
+ * candidate enumeration the way the paper's flow faces an unshaped
+ * netlist: only the reset valuation is idled, every other valuation is
+ * a candidate PL, and it is the tool's job to refute the dead ones —
+ * the exact workload the static layer targets. The IUV set is the
+ * artifact subset (ADD, DIV, LW, SW, BEQ) used by the other paper
+ * benches.
+ *
+ * Pruning is sound (facts over-approximate every reachable-from-reset
+ * trace; only the FALSE direction is consumed), which this bench checks
+ * operationally: rendered μPATHs, decisions, and verdict tallies must
+ * be identical in both modes, and that identity — plus a >=10%% static
+ * discharge rate on mcva — is the exit code.
+ *
+ * Machine-readable results land in BENCH_static_absint.json.
+ */
+
+#include <chrono>
+
+#include "analysis/fsmreach.hh"
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "designs/mcva.hh"
+#include "designs/mcva_isa.hh"
+#include "designs/tiny3.hh"
+
+using namespace rmp;
+using namespace rmp::bench;
+using namespace rmp::designs;
+
+namespace
+{
+
+struct RunCost
+{
+    uint64_t props = 0;
+    double wall = 0;
+    uint64_t reach = 0;
+    uint64_t unreach = 0;
+    uint64_t undet = 0;
+    exec::PoolStats pool;
+    /** renderInstrPaths + renderDecisions over every instruction. */
+    std::string rendered;
+};
+
+RunCost
+runOne(Harness &hx, const std::vector<uhb::InstrId> &ids, bool staticPrune)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    r2m::SynthesisConfig scfg = benchSynthConfig();
+    scfg.staticPrune = staticPrune;
+    r2m::MuPathSynthesizer synth(hx, scfg);
+    auto all = synth.synthesizeAll(ids);
+    auto t1 = std::chrono::steady_clock::now();
+    RunCost c;
+    c.wall = std::chrono::duration<double>(t1 - t0).count();
+    for (const auto &s : synth.stepStats()) {
+        c.props += s.queries;
+        c.reach += s.reachable;
+        c.unreach += s.unreachable;
+        c.undet += s.undetermined;
+    }
+    c.pool = synth.pool().stats();
+    for (uhb::InstrId id : ids) {
+        c.rendered += report::renderInstrPaths(hx, all.at(id));
+        c.rendered += report::renderDecisions(hx, all.at(id));
+    }
+    return c;
+}
+
+std::string
+runJson(const RunCost &c)
+{
+    JsonReport j;
+    j.put("properties", c.props);
+    j.put("wall_seconds", c.wall);
+    j.put("reachable", c.reach);
+    j.put("unreachable", c.unreach);
+    j.put("undetermined", c.undet);
+    j.put("solver_queries",
+          c.pool.engine.queries - c.pool.engine.staticPruned);
+    j.putRaw("pool", poolStatsJson(c.pool));
+    return j.str();
+}
+
+struct DesignResult
+{
+    std::string json;
+    bool identical = false;
+    double pruneShare = 0;
+};
+
+/**
+ * Drop the hand-annotated dead-state idling from the μFSM metadata,
+ * keeping only the reset valuation (always the first idleStates entry).
+ * Every other valuation becomes a candidate PL whose reachability the
+ * synthesis loop must settle — formally without `--static-prune`,
+ * statically with it.
+ */
+DuvUnderConstruction
+unannotated(DuvUnderConstruction duc)
+{
+    for (uhb::MicroFsm &fsm : duc.info.fsms)
+        if (fsm.idleStates.size() > 1)
+            fsm.idleStates.resize(1);
+    return duc;
+}
+
+DesignResult
+benchDesign(const std::string &name, DuvUnderConstruction duc,
+            const std::vector<std::string> &iuvNames = {})
+{
+    Harness hx(std::move(duc));
+    std::vector<uhb::InstrId> ids;
+    if (iuvNames.empty())
+        for (uhb::InstrId i = 0; i < hx.duv().instrs.size(); i++)
+            ids.push_back(i);
+    else
+        for (const std::string &n : iuvNames)
+            ids.push_back(hx.duv().instrId(n));
+
+    // The fact set the pruning run uses, reported standalone.
+    std::vector<SigId> ctrl;
+    for (const uhb::MicroFsm &fsm : hx.duv().fsms)
+        for (SigId v : fsm.vars)
+            ctrl.push_back(v);
+    analysis::AbsFacts facts = analysis::staticFacts(hx.design(), ctrl);
+    std::printf("\n== DUV %s: %zu cells, %zu candidate PLs, "
+                "%zu instructions; %llu/%llu bits known, "
+                "%u fixpoint iteration(s)\n",
+                name.c_str(), hx.design().numCells(), (size_t)hx.numPls(),
+                ids.size(), (unsigned long long)facts.bitsKnown,
+                (unsigned long long)facts.bitsTotal, facts.fixpointIters);
+
+    std::printf("-- baseline (staticPrune=off)\n");
+    RunCost off = runOne(hx, ids, false);
+    std::printf("%zu properties, %.2fs wall, %llu solver queries\n",
+                (size_t)off.props, off.wall,
+                (unsigned long long)off.pool.engine.queries);
+    std::printf("-- static pruning (staticPrune=on)\n");
+    RunCost on = runOne(hx, ids, true);
+    uint64_t pruned = on.pool.engine.staticPruned;
+    uint64_t total = on.pool.engine.queries;
+    std::printf("%zu properties, %.2fs wall, %llu covers evaluated, "
+                "%llu discharged statically (%.1f%%)\n",
+                (size_t)on.props, on.wall, (unsigned long long)total,
+                (unsigned long long)pruned,
+                total ? 100.0 * pruned / total : 0.0);
+
+    bool tallies = off.props == on.props && off.reach == on.reach &&
+                   off.unreach == on.unreach && off.undet == on.undet;
+    bool paths = off.rendered == on.rendered;
+    std::printf("verdict tallies %s, rendered uPATHs+decisions %s, "
+                "wall-time delta %+.2fs\n",
+                tallies ? "identical" : "MISMATCH",
+                paths ? "identical" : "MISMATCH", on.wall - off.wall);
+
+    DesignResult r;
+    r.identical = tallies && paths;
+    r.pruneShare = total ? (double)pruned / total : 0.0;
+    JsonReport j;
+    j.put("design", name);
+    j.put("bits_known", facts.bitsKnown);
+    j.put("bits_total", facts.bitsTotal);
+    j.put("fixpoint_iters", (uint64_t)facts.fixpointIters);
+    j.put("covers_pruned", pruned);
+    j.put("covers_total", total);
+    j.put("prune_share", r.pruneShare);
+    j.put("sat_queries_avoided", pruned);
+    j.put("wall_delta_seconds", on.wall - off.wall);
+    j.putRaw("baseline", runJson(off));
+    j.putRaw("static_prune", runJson(on));
+    j.putRaw("identical", r.identical ? "true" : "false");
+    r.json = j.str();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("static absint — known-bits/FSM-reachability cover pruning");
+
+    DesignResult tiny3 = benchDesign("tiny3", buildTiny3());
+    DesignResult mcva = benchDesign("mcva", unannotated(buildMcva()),
+                                    mcvaArtifactSubset());
+
+    bool identical = tiny3.identical && mcva.identical;
+    // The acceptance bar: a meaningful share of mcva's synthesis covers
+    // must be discharged without a solver call.
+    bool mcva_bar = mcva.pruneShare >= 0.10;
+    std::printf("\nmcva static discharge rate %.1f%% (bar: >=10%%) %s\n",
+                100.0 * mcva.pruneShare, mcva_bar ? "PASS" : "FAIL");
+    paperNote("unreachable covers dominate the formal effort of the "
+              "synthesis loop (124,459 properties at 4.43 min each, "
+              "§VII-B3)",
+              strfmt("on the unannotated candidate universe the "
+                     "absint+fsmreach facts discharge %.1f%% of mcva's "
+                     "covers with zero solver calls and bit-identical "
+                     "verdicts",
+                     100.0 * mcva.pruneShare));
+
+    JsonReport out;
+    out.put("bench", std::string("static_absint"));
+    report::JsonArray designs;
+    designs.addRaw(tiny3.json);
+    designs.addRaw(mcva.json);
+    out.putRaw("designs", designs.str());
+    out.putRaw("identical", identical ? "true" : "false");
+    out.putRaw("mcva_bar_met", mcva_bar ? "true" : "false");
+    const char *path = "BENCH_static_absint.json";
+    if (out.writeFile(path))
+        std::printf("\nwrote %s\n", path);
+    else
+        std::printf("\nFAILED to write %s\n", path);
+    return (identical && mcva_bar) ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "analysis/combgraph.hh"
 #include "common/logging.hh"
 
 namespace rmp::analysis
@@ -25,9 +26,11 @@ mix64(uint64_t x)
 
 Cone
 backwardCone(const Design &d, const std::vector<SigId> &roots,
-             int maxRegDepth)
+             int maxRegDepth, const std::vector<int8_t> *muxSel)
 {
     size_t n = d.numCells();
+    rmp_assert(!muxSel || muxSel->size() == n,
+               "backwardCone: muxSel size mismatch");
     // depth[id] = fewest register boundaries crossed to reach id from a
     // root; kUnseen = not reached. Comb edges keep the depth, crossing a
     // register's next-state connection adds one, so a breadth-first wave
@@ -54,7 +57,16 @@ backwardCone(const Design &d, const std::vector<SigId> &roots,
                 continue;
             arg_depth = dep + 1;
         }
+        // Mux-arm narrowing: when absint proved the select constant, the
+        // unroller reads only the taken arm (neither the select nor the
+        // dead arm), so the cone need not include their fan-in. The SAME
+        // muxSel vector must be handed to bmc::Unrolling — the cone stays
+        // closed under exactly the edges buildFrame() follows.
+        int8_t fixed_sel =
+            (muxSel && c.op == Op::Mux) ? (*muxSel)[id] : int8_t(-1);
         for (unsigned i = 0; i < 3 && c.args[i] != kNoSig; i++) {
+            if (fixed_sel >= 0 && i != (fixed_sel ? 1u : 2u))
+                continue;
             SigId a = c.args[i];
             if (depth[a] <= arg_depth)
                 continue;
@@ -94,52 +106,10 @@ std::vector<SigId>
 forwardReach(const Design &d, const std::vector<SigId> &roots,
              int maxRegDepth)
 {
-    size_t n = d.numCells();
-    // users[a] = cells reading signal a.
-    std::vector<std::vector<SigId>> users(n);
-    for (SigId id = 0; id < n; id++) {
-        const Cell &c = d.cell(id);
-        for (unsigned i = 0; i < 3 && c.args[i] != kNoSig; i++)
-            users[c.args[i]].push_back(id);
-    }
-    constexpr unsigned kUnseen = ~0u;
-    std::vector<unsigned> depth(n, kUnseen);
-    std::deque<SigId> frontier;
-    for (SigId r : roots) {
-        rmp_assert(r < n, "forwardReach: bad root %u", r);
-        if (depth[r] != kUnseen)
-            continue;
-        depth[r] = 0;
-        frontier.push_back(r);
-    }
-    while (!frontier.empty()) {
-        SigId id = frontier.front();
-        frontier.pop_front();
-        unsigned dep = depth[id];
-        for (SigId u : users[id]) {
-            // Entering a register crosses the sequential boundary: the
-            // influence lands one cycle later.
-            unsigned ud = dep;
-            if (d.cell(u).op == Op::Reg) {
-                if (maxRegDepth >= 0 &&
-                    dep >= static_cast<unsigned>(maxRegDepth))
-                    continue;
-                ud = dep + 1;
-            }
-            if (depth[u] <= ud)
-                continue;
-            depth[u] = ud;
-            if (ud == dep)
-                frontier.push_front(u);
-            else
-                frontier.push_back(u);
-        }
-    }
-    std::vector<SigId> out;
-    for (SigId id = 0; id < n; id++)
-        if (depth[id] != kUnseen)
-            out.push_back(id);
-    return out;
+    // One-shot convenience wrapper; repeated callers should hold a
+    // CombGraph and use the overload in combgraph.hh.
+    CombGraph g(d);
+    return forwardReach(g, roots, maxRegDepth);
 }
 
 } // namespace rmp::analysis

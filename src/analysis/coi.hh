@@ -68,9 +68,15 @@ struct Cone
  * the depth limit are members, but their next-state logic is not
  * explored; only the fixpoint cone (the default) is closed under
  * backward edges, which Unrolling requires of its restriction mask.
+ *
+ * A non-null @p muxSel (analysis::muxSelectFacts) narrows the traversal
+ * through multiplexers whose select is statically fixed: only the taken
+ * arm is followed. Callers MUST then hand the same vector to
+ * bmc::Unrolling so the mask stays closed under the edges it reads.
  */
 Cone backwardCone(const Design &d, const std::vector<SigId> &roots,
-                  int maxRegDepth = -1);
+                  int maxRegDepth = -1,
+                  const std::vector<int8_t> *muxSel = nullptr);
 
 /**
  * Forward reachability: cells whose value @p roots can influence, again

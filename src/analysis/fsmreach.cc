@@ -1,0 +1,194 @@
+#include "analysis/fsmreach.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/combgraph.hh"
+#include "common/logging.hh"
+
+namespace rmp::analysis
+{
+
+namespace
+{
+
+struct Closure
+{
+    bool exact = false;
+    std::vector<uint64_t> states;
+};
+
+/**
+ * Successor closure of register @p r under @p base (a snapshot of the
+ * facts): pin each reachable state, re-evaluate r's same-cycle forward
+ * comb cone, and concretize the next-state abstraction. Works on a
+ * private copy of @p base — per state, every cone cell is recomputed
+ * from scratch, so states cannot contaminate each other.
+ */
+Closure
+successorClosure(const Design &d, const CombGraph &g, SigId r,
+                 const std::vector<AbsVal> &base, const FsmReachConfig &cfg)
+{
+    const Cell &rc = d.cell(r);
+    unsigned w = rc.width;
+    if (w > cfg.maxStateBits)
+        return {};
+    uint64_t mask = BitVec::maskOf(w);
+    const std::vector<SigId> &cone = g.forwardComb(r);
+    SigId next = rc.args[0];
+    std::vector<AbsVal> env = base;
+
+    std::set<uint64_t> reach;
+    std::vector<uint64_t> work;
+    reach.insert(rc.cval.value());
+    work.push_back(rc.cval.value());
+    while (!work.empty()) {
+        uint64_t s = work.back();
+        work.pop_back();
+        env[r] = AbsVal::constant(s, mask);
+        for (SigId id : cone)
+            env[id] = transferCell(d, id, env);
+        const AbsVal &nv = env[next];
+
+        std::vector<uint64_t> succ;
+        if (!nv.set.empty()) {
+            succ = nv.set;
+        } else {
+            uint64_t unknown = mask & ~(nv.zeros | nv.ones);
+            if (static_cast<unsigned>(__builtin_popcountll(unknown)) >
+                cfg.maxEnumBits)
+                return {};
+            // Enumerate every assignment of the unknown bits; admits()
+            // additionally filters by the derived range.
+            uint64_t sub = 0;
+            do {
+                uint64_t v = (nv.ones | sub) & mask;
+                if (nv.admits(v))
+                    succ.push_back(v);
+                sub = (sub - unknown) & unknown;
+            } while (sub != 0);
+        }
+        for (uint64_t v : succ) {
+            if (reach.insert(v).second) {
+                if (reach.size() > cfg.maxStates)
+                    return {};
+                work.push_back(v);
+            }
+        }
+    }
+
+    Closure c;
+    c.exact = true;
+    c.states.assign(reach.begin(), reach.end());
+    return c;
+}
+
+} // anonymous namespace
+
+std::vector<FsmReachResult>
+fsmReachability(const Design &d, const std::vector<SigId> &controlRegs,
+                AbsFacts &facts, const FsmReachConfig &cfg)
+{
+    rmp_assert(facts.val.size() == d.numCells(),
+               "fsmReachability: facts/design mismatch");
+    CombGraph g(d);
+
+    std::vector<SigId> regs;
+    for (SigId r : controlRegs) {
+        if (r >= d.numCells() || d.cell(r).op != Op::Reg) {
+            warn(strfmt(
+                "fsmReachability: ignoring non-register control sig %u",
+                r));
+            continue;
+        }
+        if (std::find(regs.begin(), regs.end(), r) == regs.end())
+            regs.push_back(r);
+    }
+
+    // Refined registers are pinned: their sets are proven invariants
+    // (successor-closed from reset under an env at least as weak as the
+    // final one), so re-stabilization must not join them back up.
+    std::vector<uint8_t> pinned(d.numCells(), 0);
+    unsigned extraIters = 0;
+    for (unsigned round = 0; round < cfg.maxRefineRounds; round++) {
+        bool changed = false;
+        // All closures in one round run against the same snapshot; the
+        // refinements they prove land in facts.val for the next round.
+        const std::vector<AbsVal> base = facts.val;
+        for (SigId r : regs) {
+            Closure c = successorClosure(d, g, r, base, cfg);
+            if (!c.exact)
+                continue;
+            uint64_t mask = BitVec::maskOf(d.width(r));
+            AbsVal refined = AbsVal::fromSet(c.states, mask);
+            const AbsVal &cur = facts.val[r];
+            // Only adopt strict refinements; the closure can never be
+            // wider than the current abstraction admits.
+            bool shrinks =
+                refined.zeros != cur.zeros || refined.ones != cur.ones ||
+                refined.set != cur.set || refined.lo != cur.lo ||
+                refined.hi != cur.hi;
+            if (shrinks) {
+                facts.val[r] = refined;
+                pinned[r] = 1;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+        // Re-stabilize the rest of the system under the pinned sets.
+        bool ch = true;
+        while (ch) {
+            rmp_assert(extraIters < 100000,
+                       "fsmReachability: re-stabilization diverged");
+            absEvalComb(d, facts.val);
+            ch = false;
+            for (SigId rr : d.registers()) {
+                if (pinned[rr])
+                    continue;
+                uint64_t mask = BitVec::maskOf(d.width(rr));
+                const AbsVal &next = facts.val[d.cell(rr).args[0]];
+                AbsVal joined = joinAbs(facts.val[rr], next, mask);
+                const AbsVal &cur = facts.val[rr];
+                if (joined.zeros != cur.zeros || joined.ones != cur.ones ||
+                    joined.set != cur.set || joined.lo != cur.lo ||
+                    joined.hi != cur.hi) {
+                    facts.val[rr] = std::move(joined);
+                    ch = true;
+                }
+            }
+            extraIters++;
+        }
+    }
+
+    // Report from the final facts (one more closure per register so the
+    // result is consistent with what consumers will see).
+    std::vector<FsmReachResult> out;
+    for (SigId r : regs) {
+        FsmReachResult res;
+        res.reg = r;
+        Closure c = successorClosure(d, g, r, facts.val, cfg);
+        res.exact = c.exact;
+        res.states = std::move(c.states);
+        facts.exactSet[r] =
+            res.exact && !facts.val[r].set.empty() &&
+            facts.val[r].set == res.states;
+        out.push_back(std::move(res));
+    }
+
+    facts.fixpointIters += extraIters;
+    absSeal(d, facts);
+    return out;
+}
+
+AbsFacts
+staticFacts(const Design &d, const std::vector<SigId> &controlRegs,
+            const AbsintConfig &acfg, const FsmReachConfig &fcfg)
+{
+    AbsFacts f = absInterpret(d, acfg);
+    if (!controlRegs.empty())
+        fsmReachability(d, controlRegs, f, fcfg);
+    return f;
+}
+
+} // namespace rmp::analysis

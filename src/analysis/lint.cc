@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "analysis/absint.hh"
 #include "analysis/coi.hh"
+#include "analysis/combgraph.hh"
+#include "analysis/fsmreach.hh"
 #include "common/logging.hh"
+#include "report/json.hh"
 
 namespace rmp::analysis
 {
@@ -27,6 +31,11 @@ ruleName(Rule r)
       case Rule::DeadCell: return "dead-cell";
       case Rule::NeverReadReg: return "never-read-reg";
       case Rule::TaintConeGap: return "taint-cone-gap";
+      case Rule::UnreachableFsmState: return "unreachable-fsm-state";
+      case Rule::ConstantRegister: return "constant-register";
+      case Rule::DeadMuxArm: return "dead-mux-arm";
+      case Rule::TruncatedAssignment: return "truncated-assignment";
+      case Rule::UntaintedTaintSink: return "untainted-taint-sink";
     }
     return "?";
 }
@@ -61,22 +70,6 @@ cellLabel(const Design &d, SigId id)
     if (!c.name.empty())
         label += " '" + c.name + "'";
     return strfmt("%s (cell %u)", label.c_str(), id);
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char ch : s) {
-        if (ch == '"' || ch == '\\')
-            out += '\\';
-        if (static_cast<unsigned char>(ch) < 0x20) {
-            out += strfmt("\\u%04x", ch);
-            continue;
-        }
-        out += ch;
-    }
-    return out;
 }
 
 /** Expected operand count of an op (Reg handled separately). */
@@ -121,6 +114,7 @@ struct Linter
     void checkCycles();
     void checkLiveness();
     void checkWidth(SigId id);
+    void checkAbsint();
 };
 
 void
@@ -398,6 +392,85 @@ Linter::checkLiveness()
     }
 }
 
+void
+Linter::checkAbsint()
+{
+    AbsFacts facts = absInterpret(d);
+    std::vector<FsmReachResult> fsm;
+    if (!cfg.controlRegs.empty())
+        fsm = fsmReachability(d, cfg.controlRegs, facts);
+
+    // unreachable-fsm-state: valuations the successor closure never
+    // produces from reset. Encodings are often deliberately sparse
+    // (one-hot), hence a warning, not an error.
+    for (const FsmReachResult &r : fsm) {
+        if (!r.exact)
+            continue;
+        unsigned w = d.cell(r.reg).width;
+        uint64_t total = 1ULL << w; // w <= FsmReachConfig::maxStateBits
+        if (r.states.size() >= total)
+            continue;
+        std::string dead;
+        unsigned listed = 0;
+        for (uint64_t v = 0; v < total && listed < 4; v++) {
+            if (std::binary_search(r.states.begin(), r.states.end(), v))
+                continue;
+            dead += (listed ? ", " : "") + std::to_string(v);
+            listed++;
+        }
+        emit(Rule::UnreachableFsmState, Severity::Warning, r.reg,
+             cellLabel(d, r.reg) +
+                 strfmt(": %llu of %llu state valuations are unreachable "
+                        "(e.g. %s)",
+                        static_cast<unsigned long long>(total -
+                                                        r.states.size()),
+                        static_cast<unsigned long long>(total),
+                        dead.c_str()));
+    }
+
+    // constant-register: state that provably never changes.
+    for (SigId r : d.registers()) {
+        const AbsVal &v = facts.val[r];
+        uint64_t mask = BitVec::maskOf(d.cell(r).width);
+        if (v.known(mask))
+            emit(Rule::ConstantRegister, Severity::Warning, r,
+                 cellLabel(d, r) +
+                     strfmt(" holds constant %llu on every reachable "
+                            "cycle",
+                            static_cast<unsigned long long>(v.cval())));
+    }
+
+    // dead-mux-arm: a select pinned by the fixpoint.
+    std::vector<int8_t> sel = muxSelectFacts(d, facts);
+    for (SigId id = 0; id < d.numCells(); id++) {
+        if (sel[id] < 0)
+            continue;
+        emit(Rule::DeadMuxArm, Severity::Warning, id,
+             cellLabel(d, id) +
+                 strfmt(": select is statically %d; the %s arm never "
+                        "drives the output",
+                        sel[id], sel[id] ? "select-0" : "select-1"));
+    }
+
+    // truncated-assignment: a Slice dropping bits proven constant-one —
+    // unlike dropping maybe-zero bits (routine field extraction), losing
+    // an always-set bit means real data cannot survive the assignment.
+    for (SigId id = 0; id < d.numCells(); id++) {
+        const Cell &c = d.cell(id);
+        if (c.op != Op::Slice || c.aux0 >= 64)
+            continue;
+        uint64_t opmask = BitVec::maskOf(d.cell(c.args[0]).width);
+        uint64_t kept = BitVec::maskOf(c.width) << c.aux0;
+        uint64_t droppedOnes = facts.val[c.args[0]].ones & opmask & ~kept;
+        if (droppedOnes)
+            emit(Rule::TruncatedAssignment, Severity::Warning, id,
+                 cellLabel(d, id) +
+                     strfmt(" drops operand bits 0x%llx that are "
+                            "constant-one",
+                            static_cast<unsigned long long>(droppedOnes)));
+    }
+}
+
 } // anonymous namespace
 
 LintReport
@@ -414,6 +487,11 @@ lint(const Design &d, const LintConfig &cfg)
         traversable &= wf;
     if (cfg.checkLiveness && traversable)
         l.checkLiveness();
+    // The absint rules *evaluate* the netlist (topo order, transfer
+    // functions), which is only meaningful once no structural error
+    // fired — a cyclic or ill-typed graph has no defined semantics.
+    if (cfg.checkAbsint && traversable && l.rep.errors() == 0)
+        l.checkAbsint();
     return std::move(l.rep);
 }
 
@@ -422,21 +500,33 @@ lintIft(const Design &orig, const ift::Instrumented &inst)
 {
     LintReport rep;
     const Design &di = *inst.design;
+    // One comb-graph cache per design: every fan-in query below (roots,
+    // shadows, and the per-source requirements) is memoized instead of
+    // re-running a fresh backward DFS per call.
+    CombGraph gOrig(orig), gInst(di);
+    // Facts over the instrumented design, for the untainted-sink rule:
+    // the taint plane is ordinary logic (shadow registers reset to 0,
+    // taint-introduction inputs are free), so the fixpoint proves where
+    // taint can never flow.
+    AbsFacts facts = absInterpret(di);
 
     // Checked roots: every named signal plus every register next-state —
     // together they determine all observable values and state evolution.
     std::vector<SigId> roots;
+    std::vector<uint8_t> isRoot(orig.numCells(), 0);
     for (SigId id = 0; id < orig.numCells(); id++) {
         const Cell &c = orig.cell(id);
-        if (!c.name.empty() && c.op != Op::Input)
+        if (!c.name.empty() && c.op != Op::Input && !isRoot[id]) {
+            isRoot[id] = 1;
             roots.push_back(id);
-        if (c.op == Op::Reg && c.args[0] != kNoSig)
-            roots.push_back(c.args[0]);
+        }
+        SigId nx = c.op == Op::Reg ? c.args[0] : kNoSig;
+        if (nx != kNoSig && !isRoot[nx]) {
+            isRoot[nx] = 1;
+            roots.push_back(nx);
+        }
     }
 
-    // required[src] = the shadow-plane sources that must appear in any
-    // cone that data-depends on register src.
-    std::unordered_map<SigId, std::vector<SigId>> required;
     for (SigId o : roots) {
         if (o >= inst.shadow.size() || inst.shadow[o] == kNoSig) {
             rep.diags.push_back(
@@ -444,8 +534,8 @@ lintIft(const Design &orig, const ift::Instrumented &inst)
                  cellLabel(orig, o) + " has no shadow signal"});
             continue;
         }
-        std::vector<SigId> have = di.combFanInSources(inst.shadow[o]);
-        for (SigId src : orig.combFanInSources(o)) {
+        const std::vector<SigId> &have = gInst.fanInSources(inst.shadow[o]);
+        for (SigId src : gOrig.fanInSources(o)) {
             if (orig.cell(src).op != Op::Reg)
                 continue; // inputs are untainted by definition
             if (src >= inst.shadow.size() || inst.shadow[src] == kNoSig) {
@@ -454,14 +544,10 @@ lintIft(const Design &orig, const ift::Instrumented &inst)
                      cellLabel(orig, src) + " has no shadow signal"});
                 continue;
             }
-            auto it = required.find(src);
-            if (it == required.end())
-                it = required
-                         .emplace(src,
-                                  di.combFanInSources(inst.shadow[src]))
-                         .first;
-            if (!std::includes(have.begin(), have.end(),
-                               it->second.begin(), it->second.end())) {
+            const std::vector<SigId> &need =
+                gInst.fanInSources(inst.shadow[src]);
+            if (!std::includes(have.begin(), have.end(), need.begin(),
+                               need.end())) {
                 rep.diags.push_back(
                     {Rule::TaintConeGap, Severity::Error, o,
                      "taint cone of " + cellLabel(orig, o) +
@@ -469,6 +555,24 @@ lintIft(const Design &orig, const ift::Instrumented &inst)
                          cellLabel(orig, src)});
             }
         }
+        // untainted-taint-sink: the sink's shadow is provably zero on
+        // every reachable cycle — no mark placement can ever taint it.
+        // Intentional taint boundaries are exempt: constants, and the
+        // blocked/source registers instrument() ties to a zero next
+        // state (architectural state where taint never persists).
+        const Cell &sc = di.cell(inst.shadow[o]);
+        bool boundary =
+            orig.cell(o).op == Op::Const ||
+            (sc.op == Op::Reg && sc.args[0] != kNoSig &&
+             di.cell(sc.args[0]).op == Op::Const &&
+             di.cell(sc.args[0]).cval.value() == 0);
+        const AbsVal &sv = facts.val[inst.shadow[o]];
+        uint64_t smask = BitVec::maskOf(di.cell(inst.shadow[o]).width);
+        if (!boundary && sv.known(smask) && sv.cval() == 0)
+            rep.diags.push_back(
+                {Rule::UntaintedTaintSink, Severity::Warning, o,
+                 "shadow of " + cellLabel(orig, o) +
+                     " is statically zero: no taint can reach this sink"});
     }
     return rep;
 }
@@ -489,23 +593,9 @@ LintReport::render(const Design &d) const
 std::string
 LintReport::json(const Design &d) const
 {
-    std::string out = "{";
-    out += strfmt("\"design\": \"%s\", \"cells\": %zu, \"errors\": %zu, "
-                  "\"warnings\": %zu, \"diagnostics\": [",
-                  jsonEscape(d.name()).c_str(), d.numCells(), errors(),
-                  warnings());
-    for (size_t i = 0; i < diags.size(); i++) {
-        const Diagnostic &di = diags[i];
-        if (i)
-            out += ", ";
-        out += strfmt("{\"rule\": \"%s\", \"severity\": \"%s\", "
-                      "\"cell\": %lld, \"message\": \"%s\"}",
-                      ruleName(di.rule), severityName(di.severity),
-                      di.sig == kNoSig ? -1LL
-                                       : static_cast<long long>(di.sig),
-                      jsonEscape(di.message).c_str());
-    }
-    return out + "]}";
+    // One schema for every diagnostics surface (`rmp lint --json`,
+    // `rmp analyze --json`): report/json.hh owns the rendering.
+    return report::diagnosticsJson(d, *this);
 }
 
 } // namespace rmp::analysis

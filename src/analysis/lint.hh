@@ -31,6 +31,22 @@
  *  - taint-cone-gap   [error]   IFT soundness: an instrumented design
  *                               whose taint fan-in cone fails to cover
  *                               the original data fan-in cone (lintIft)
+ *
+ * Abstract-interpretation rules (need a valid netlist; skipped when any
+ * structural error fires, and gated by LintConfig::checkAbsint):
+ *  - unreachable-fsm-state [warning] a control register (μFSM state
+ *                               variable) with state valuations the
+ *                               successor closure proves unreachable
+ *  - constant-register     [warning] a register holding one value on
+ *                               every reachable cycle (dead state)
+ *  - dead-mux-arm          [warning] a Mux whose select is statically
+ *                               fixed, so one arm never drives anything
+ *  - truncated-assignment  [warning] a Slice dropping bits proven
+ *                               constant-one (real data is lost)
+ *  - untainted-taint-sink  [warning] lintIft: a checked sink whose
+ *                               shadow is statically zero — no taint
+ *                               can ever reach it, so its decision_taint
+ *                               covers are trivially unreachable
  */
 
 #ifndef ANALYSIS_LINT_HH
@@ -59,6 +75,11 @@ enum class Rule : uint8_t
     DeadCell,
     NeverReadReg,
     TaintConeGap,
+    UnreachableFsmState,
+    ConstantRegister,
+    DeadMuxArm,
+    TruncatedAssignment,
+    UntaintedTaintSink,
 };
 
 const char *severityName(Severity s);
@@ -88,6 +109,12 @@ struct LintConfig
     std::vector<SigId> roots;
     /** Run the liveness rules (they need a backward cone fixpoint). */
     bool checkLiveness = true;
+    /** Run the abstract-interpretation rules (absint.hh). They evaluate
+     *  the netlist, so they are skipped when any structural error fired. */
+    bool checkAbsint = true;
+    /** Control registers (μFSM state variables) for the
+     *  unreachable-fsm-state rule; empty disables that rule only. */
+    std::vector<SigId> controlRegs;
 };
 
 /** The findings of one lint run. */

@@ -22,13 +22,94 @@ outcomeName(Outcome o)
     return "?";
 }
 
+StaticTern
+staticEval(const Design &design, const analysis::AbsFacts &facts,
+           const prop::ExprRef &e)
+{
+    using K = prop::ExprKind;
+    switch (e->kind) {
+      case K::True:
+        return StaticTern::True;
+      case K::SigEqConst: {
+          const analysis::AbsVal &v = facts.of(e->sig);
+          // Compare in-width bits only (the bit-blasted semantics:
+          // sigEqConst never reads constant bits past the signal width).
+          uint64_t mask = BitVec::maskOf(design.cell(e->sig).width);
+          uint64_t c = e->value & mask;
+          if (!v.admits(c))
+              return StaticTern::False;
+          if (v.known(mask) && v.cval() == c)
+              return StaticTern::True;
+          return StaticTern::Unknown;
+      }
+      case K::SigBit: {
+          if (e->value >= design.cell(e->sig).width)
+              return StaticTern::Unknown;
+          const analysis::AbsVal &v = facts.of(e->sig);
+          uint64_t bit = 1ULL << e->value;
+          if (v.zeros & bit)
+              return StaticTern::False;
+          if (v.ones & bit)
+              return StaticTern::True;
+          return StaticTern::Unknown;
+      }
+      case K::Not:
+        switch (staticEval(design, facts, e->a)) {
+          case StaticTern::False: return StaticTern::True;
+          case StaticTern::True: return StaticTern::False;
+          case StaticTern::Unknown: return StaticTern::Unknown;
+        }
+        return StaticTern::Unknown;
+      case K::And: {
+          StaticTern a = staticEval(design, facts, e->a);
+          StaticTern b = staticEval(design, facts, e->b);
+          if (a == StaticTern::False || b == StaticTern::False)
+              return StaticTern::False;
+          if (a == StaticTern::True && b == StaticTern::True)
+              return StaticTern::True;
+          return StaticTern::Unknown;
+      }
+      case K::Or: {
+          StaticTern a = staticEval(design, facts, e->a);
+          StaticTern b = staticEval(design, facts, e->b);
+          if (a == StaticTern::True || b == StaticTern::True)
+              return StaticTern::True;
+          if (a == StaticTern::False && b == StaticTern::False)
+              return StaticTern::False;
+          return StaticTern::Unknown;
+      }
+      case K::Delay: {
+          // a ##k b: the facts are time-invariant, so a constant-false
+          // child falsifies the sequence at every alignment. Never True:
+          // the bounded semantics falsifies matches whose delayed child
+          // would land past the unrolling bound.
+          StaticTern a = staticEval(design, facts, e->a);
+          StaticTern b = staticEval(design, facts, e->b);
+          if (a == StaticTern::False || b == StaticTern::False)
+              return StaticTern::False;
+          return StaticTern::Unknown;
+      }
+    }
+    return StaticTern::Unknown;
+}
+
 Engine::Engine(const Design &design, const EngineConfig &config)
     : d(design), cfg(config)
 {
     rmp_assert(cfg.bound >= 1, "bound must be positive");
+    if (cfg.staticPrune) {
+        if (!cfg.staticFacts)
+            cfg.staticFacts = std::make_shared<const analysis::AbsFacts>(
+                analysis::absInterpret(d));
+        rmp_assert(cfg.staticFacts->val.size() == d.numCells(),
+                   "static facts cover %zu of %zu cells",
+                   cfg.staticFacts->val.size(), d.numCells());
+        if (cfg.coiPruning)
+            muxSel_ = analysis::muxSelectFacts(d, *cfg.staticFacts);
+    }
     if (!cfg.coiPruning) {
         full_ = std::make_unique<Ctx>(
-            d, std::vector<uint8_t>{},
+            d, std::vector<uint8_t>{}, std::vector<int8_t>{},
             static_cast<uint32_t>(d.numCells()), cfg.auditProof);
         full_->unrolling.ensureFrames(cfg.bound - 1);
         coi_.conesBuilt = 1;
@@ -45,17 +126,36 @@ Engine::ctxFor(const prop::ExprRef &seq,
     prop::collectSigs(seq, &roots);
     for (const auto &a : assumes)
         prop::collectSigs(a, &roots);
-    analysis::Cone cone = analysis::backwardCone(d, roots);
+    // The narrowed cone and the unrolling must share one muxSel vector:
+    // the cone omits exactly the cells the fixed muxes skip reading.
+    const std::vector<int8_t> *ms = muxSel_.empty() ? nullptr : &muxSel_;
+    analysis::Cone cone = analysis::backwardCone(d, roots, -1, ms);
     auto it = cones_.find(cone.fingerprint);
     if (it == cones_.end()) {
         auto ctx = std::make_unique<Ctx>(
-            d, std::move(cone.inCone),
+            d, std::move(cone.inCone), muxSel_,
             static_cast<uint32_t>(cone.size()), cfg.auditProof);
         ctx->unrolling.ensureFrames(cfg.bound - 1);
         it = cones_.emplace(cone.fingerprint, std::move(ctx)).first;
         coi_.conesBuilt++;
     }
     return *it->second;
+}
+
+bool
+Engine::staticallyFalse(const prop::ExprRef &seq,
+                        const std::vector<prop::ExprRef> &assumes) const
+{
+    if (!cfg.staticPrune || !cfg.staticFacts)
+        return false;
+    if (staticEval(d, *cfg.staticFacts, seq) == StaticTern::False)
+        return true;
+    // An assume that is statically false fails at cycle 0 of every
+    // reachable trace: the query is vacuous, hence Unreachable.
+    for (const auto &a : assumes)
+        if (staticEval(d, *cfg.staticFacts, a) == StaticTern::False)
+            return true;
+    return false;
 }
 
 sat::Lit
@@ -153,6 +253,37 @@ Engine::run(const prop::ExprRef &seq,
 {
     obs::Span span("bmc-cover", "bmc");
     auto t0 = std::chrono::steady_clock::now();
+
+    // Static pruning: a cover refuted by the absint facts is Unreachable
+    // without unrolling or solving. Under verdict auditing the query
+    // falls through to the solver and the answers are reconciled below.
+    const bool static_false = staticallyFalse(seq, assumes);
+    const bool auditing = cfg.auditReplay || cfg.auditProof;
+    if (static_false && !auditing) {
+        CoverResult res;
+        res.outcome = Outcome::Unreachable;
+        auto t1 = std::chrono::steady_clock::now();
+        res.seconds = std::chrono::duration<double>(t1 - t0).count();
+        stats_.queries++;
+        stats_.unreachable++;
+        stats_.staticPruned++;
+        stats_.totalSeconds += res.seconds;
+        coi_.queries++;
+        coi_.designCells += d.numCells();
+        if (span.active()) {
+            span.arg("outcome", static_cast<uint64_t>(res.outcome));
+            span.arg("static_pruned", uint64_t{1});
+            obs::Registry &reg = obs::Registry::global();
+            reg.counter("bmc.queries",
+                        {{"outcome", outcomeName(res.outcome)}})
+                .add(1);
+            reg.counter("absint.covers_pruned").add(1);
+            reg.histogram("bmc.query_ns")
+                .record(static_cast<uint64_t>(res.seconds * 1e9));
+        }
+        return res;
+    }
+
     Ctx &ctx = ctxFor(seq, assumes);
     Unrolling &unrolling = ctx.unrolling;
     Aig &g = unrolling.aig();
@@ -229,6 +360,22 @@ Engine::run(const prop::ExprRef &seq,
         }
     }
 
+    if (static_false) {
+        // Audit fall-through: the solver re-proved the pruned query. A
+        // Reachable answer contradicts the static proof — one of the two
+        // is defective; record it for the caller to quarantine. Either
+        // way the reported verdict matches the non-audited path.
+        stats_.staticPruned++;
+        if (res.outcome == Outcome::Reachable) {
+            res.audit.mismatch = true;
+            res.audit.detail =
+                "static prune audit: solver found a witness for a "
+                "statically-false cover";
+            res.witness = Witness{};
+        }
+        res.outcome = Outcome::Unreachable;
+    }
+
     auto t1 = std::chrono::steady_clock::now();
     res.seconds = std::chrono::duration<double>(t1 - t0).count();
     res.coiCells = ctx.cells;
@@ -270,6 +417,8 @@ Engine::run(const prop::ExprRef &seq,
         reg.gauge("bmc.cnf_clauses")
             .set(static_cast<int64_t>(ctx.solver.numClauses()));
         reg.gauge("bmc.sat_vars").set(static_cast<int64_t>(res.satVars));
+        if (static_false)
+            reg.counter("absint.covers_pruned").add(1);
         if (res.audit.replayed)
             reg.counter("audit.replayed").add(1);
         if (res.audit.proofChecked)
@@ -385,6 +534,11 @@ const sim::Tape &
 Engine::replayTapeFor(const prop::ExprRef &seq,
                       const std::vector<prop::ExprRef> &assumes)
 {
+    // Known-bits facts constantize tape cells beyond syntactic folding;
+    // sound here because replays only ever run reachable-from-reset
+    // stimulus (the facts' trace set). Seed once per engine.
+    if (cfg.staticPrune && cfg.staticFacts && replayFold_.kbDesign != &d)
+        analysis::seedFoldCache(d, *cfg.staticFacts, &replayFold_);
     if (replayWatched_.empty())
         replayWatched_.assign(d.numCells(), 0);
     bool grew = replayTape_ == nullptr;

@@ -26,6 +26,17 @@
  * are identical to full-design unrolling; only budget-exhaustion
  * (Undetermined) verdicts are instance-relative, which is why the cone
  * fingerprint participates in exec::QueryCache keys (DESIGN.md §3e).
+ *
+ * With EngineConfig::staticPrune the engine additionally consults the
+ * abstract-interpretation fixpoint (analysis::absInterpret, DESIGN.md
+ * §3i) before touching the solver: a cover whose sequence — or any of
+ * whose assumes — evaluates to constant FALSE under the facts is
+ * returned Unreachable without unrolling or solving. Only the FALSE
+ * verdict of the ternary evaluator is consumed, and the facts
+ * over-approximate every reachable-from-reset valuation, so a pruned
+ * cover is genuinely unreachable and the verdict is identical to what
+ * the solver would return. Under verdict auditing the query falls
+ * through to the solver anyway and the two answers are cross-checked.
  */
 
 #ifndef BMC_ENGINE_HH
@@ -36,6 +47,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/absint.hh"
 #include "analysis/coi.hh"
 #include "bmc/unroll.hh"
 #include "prop/property.hh"
@@ -98,6 +110,21 @@ ReplayCheck replayWitnessCompiled(
     const std::vector<InputMap> &inputs, const prop::ExprRef &seq,
     const std::vector<prop::ExprRef> &assumes, unsigned bound,
     sim::SimBackend backend = sim::SimBackend::Tape);
+
+/** Kleene truth value of a property under time-invariant facts. */
+enum class StaticTern : int8_t { False = 0, True = 1, Unknown = 2 };
+
+/**
+ * Ternary verdict of @p e on every reachable cycle, judged only from the
+ * absint facts. False means: no cycle of any reachable-from-reset trace
+ * satisfies @p e — facts hold on every such cycle, so a signal predicate
+ * the facts refute is refuted always. True is best-effort (##-delayed
+ * sequences never report True: the bounded semantics can falsify them
+ * near the unrolling bound); Unknown is always sound. The engine's
+ * static pruning consumes the False direction only.
+ */
+StaticTern staticEval(const Design &design, const analysis::AbsFacts &facts,
+                      const prop::ExprRef &e);
 
 /** A concrete witness for a Reachable cover. */
 struct Witness
@@ -209,6 +236,23 @@ struct EngineConfig
      * construction reads). Deduplicated; order irrelevant.
      */
     std::vector<SigId> witnessWatch;
+    /**
+     * Discharge covers statically: a query whose sequence or assumes
+     * are constant-false under the absint fixpoint returns Unreachable
+     * without touching the unroller or solver. Sound (facts
+     * over-approximate all reachable-from-reset traces; only the FALSE
+     * direction is consumed) and verdict-identical to solving. With
+     * auditReplay/auditProof the solver runs anyway and disagreements
+     * are recorded as audit mismatches. Also narrows COI cones through
+     * statically fixed mux selects when coiPruning is on.
+     */
+    bool staticPrune = false;
+    /**
+     * Facts consulted by staticPrune, shared across engines (EnginePool
+     * computes them once per design). Computed by the engine itself
+     * when null and staticPrune is set.
+     */
+    std::shared_ptr<const analysis::AbsFacts> staticFacts;
 };
 
 /** Aggregate query statistics (reported by bench_perf_properties). */
@@ -218,6 +262,9 @@ struct EngineStats
     uint64_t reachable = 0;
     uint64_t unreachable = 0;
     uint64_t undetermined = 0;
+    /** Of unreachable, verdicts discharged by the absint facts alone
+     *  (no SAT query; counted even when auditing re-proves them). */
+    uint64_t staticPruned = 0;
     double totalSeconds = 0.0;
     /** @name Verdict-audit tallies (zero unless auditing is on) */
     /// @{
@@ -305,9 +352,9 @@ class Engine
         /** Cells this instance materializes. */
         uint32_t cells = 0;
 
-        Ctx(const Design &dd, std::vector<uint8_t> mask, uint32_t n,
-            bool audit_proof)
-            : unrolling(dd, std::move(mask)), cells(n)
+        Ctx(const Design &dd, std::vector<uint8_t> mask,
+            std::vector<int8_t> mux_sel, uint32_t n, bool audit_proof)
+            : unrolling(dd, std::move(mask), std::move(mux_sel)), cells(n)
         {
             if (audit_proof) {
                 drat = std::make_unique<sat::DratChecker>();
@@ -340,8 +387,14 @@ class Engine
     const sim::Tape &replayTapeFor(const prop::ExprRef &seq,
                                    const std::vector<prop::ExprRef> &assumes);
 
+    /** True iff staticPrune proves this query Unreachable. */
+    bool staticallyFalse(const prop::ExprRef &seq,
+                         const std::vector<prop::ExprRef> &assumes) const;
+
     const Design &d;
     EngineConfig cfg;
+    /** Fixed mux selects (staticPrune && coiPruning only; else empty). */
+    std::vector<int8_t> muxSel_;
     /** The full-design instance (absent under COI pruning). */
     std::unique_ptr<Ctx> full_;
     /** Cone fingerprint -> instance (COI pruning only). */

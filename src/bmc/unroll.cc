@@ -7,11 +7,15 @@
 namespace rmp::bmc
 {
 
-Unrolling::Unrolling(const Design &design, std::vector<uint8_t> coi_mask)
-    : d(design), mask(std::move(coi_mask))
+Unrolling::Unrolling(const Design &design, std::vector<uint8_t> coi_mask,
+                     std::vector<int8_t> mux_sel)
+    : d(design), mask(std::move(coi_mask)), muxSel(std::move(mux_sel))
 {
     rmp_assert(mask.empty() || mask.size() == d.numCells(),
                "COI mask covers %zu of %zu cells", mask.size(),
+               d.numCells());
+    rmp_assert(muxSel.empty() || muxSel.size() == d.numCells(),
+               "mux-select facts cover %zu of %zu cells", muxSel.size(),
                d.numCells());
 }
 
@@ -254,6 +258,14 @@ Unrolling::buildFrame()
               break;
           }
           case Op::Mux: {
+              // A statically fixed select short-circuits to the taken
+              // arm; the select and dead arm may be outside the COI mask
+              // (their frame words empty), so neither is read.
+              int8_t fixed = muxSel.empty() ? int8_t{-1} : muxSel[id];
+              if (fixed >= 0) {
+                  out = fr[c.args[fixed ? 1 : 2]];
+                  break;
+              }
               const Word &T = fr[c.args[1]];
               const Word &F = fr[c.args[2]];
               AigLit sel = A[0];

@@ -37,13 +37,22 @@ using Word = std::vector<AigLit>;
  * member (analysis::backwardCone's fixpoint guarantees this) — or frame
  * construction panics. Inputs are always materialized (each is one free
  * AIG node; keeping them uniform keeps witness extraction cone-agnostic).
+ *
+ * An optional mux-select vector (analysis::muxSelectFacts) marks Mux
+ * cells whose select is a proven constant on every reachable cycle; such
+ * a mux emits its taken arm's literals verbatim, reading neither the
+ * select word nor the dead arm. The vector MUST be the same one the COI
+ * mask was narrowed with (backwardCone's muxSel argument), or closure
+ * breaks: the mask may omit exactly the words the fixed muxes skip.
  */
 class Unrolling
 {
   public:
-    /** @p coi_mask: per-cell membership (empty = unrestricted). */
+    /** @p coi_mask: per-cell membership (empty = unrestricted).
+     *  @p mux_sel: per-cell fixed mux select, -1/0/1 (empty = none). */
     explicit Unrolling(const Design &design,
-                       std::vector<uint8_t> coi_mask = {});
+                       std::vector<uint8_t> coi_mask = {},
+                       std::vector<int8_t> mux_sel = {});
 
     const Design &design() const { return d; }
     Aig &aig() { return g; }
@@ -84,6 +93,8 @@ class Unrolling
     const Design &d;
     /** COI membership per cell; empty = all cells. */
     std::vector<uint8_t> mask;
+    /** Fixed mux selects per cell (-1 = not fixed); empty = none. */
+    std::vector<int8_t> muxSel;
     Aig g;
     /** frames[t][sigId] = word of literals. */
     std::vector<std::vector<Word>> frames;

@@ -17,6 +17,16 @@ EnginePool::EnginePool(const Design &design,
                        const ExecConfig &exec_cfg)
     : d(design), engCfg(engine_cfg), designFp(designFingerprint(design))
 {
+    // Compute the absint facts once here rather than once per lane: every
+    // lane engine shares one immutable AbsFacts (and the cone-fingerprint
+    // memo below narrows with the same mux-select vector the engines use).
+    if (engCfg.staticPrune) {
+        if (!engCfg.staticFacts)
+            engCfg.staticFacts = std::make_shared<const analysis::AbsFacts>(
+                analysis::absInterpret(d));
+        if (engCfg.coiPruning)
+            muxSel_ = analysis::muxSelectFacts(d, *engCfg.staticFacts);
+    }
     unsigned lanes = exec_cfg.lanes ? exec_cfg.lanes : kDefaultLanes;
     lanes_.resize(lanes);
     unsigned hw = std::thread::hardware_concurrency();
@@ -169,7 +179,10 @@ EnginePool::coneFp(const Query &q)
     auto it = coneFps.find(rh);
     if (it != coneFps.end())
         return it->second;
-    analysis::Cone cone = analysis::backwardCone(d, roots);
+    // Same mux-select narrowing as the lane engines' ctxFor(), so this
+    // fingerprint names the instance that will actually answer the query.
+    const std::vector<int8_t> *ms = muxSel_.empty() ? nullptr : &muxSel_;
+    analysis::Cone cone = analysis::backwardCone(d, roots, -1, ms);
     coneFps.emplace(rh, cone.fingerprint);
     return cone.fingerprint;
 }
@@ -301,6 +314,7 @@ EnginePool::stats() const
         s.engine.reachable += e.reachable;
         s.engine.unreachable += e.unreachable;
         s.engine.undetermined += e.undetermined;
+        s.engine.staticPruned += e.staticPruned;
         s.engine.totalSeconds += e.totalSeconds;
         s.engine.auditReplayed += e.auditReplayed;
         s.engine.auditProofChecked += e.auditProofChecked;

@@ -170,6 +170,9 @@ class EnginePool
     QueryCache cache_;
     /** Support-set hash -> cone fingerprint (COI pruning only). */
     std::unordered_map<uint64_t, uint64_t> coneFps;
+    /** Fixed mux selects (staticPrune && coiPruning only; else empty);
+     *  keeps coneFp() consistent with the lane engines' narrowing. */
+    std::vector<int8_t> muxSel_;
 
     /** @name Worker machinery (only active when jobs > 1) */
     /// @{

@@ -30,6 +30,14 @@ keyWord(uint64_t seed, uint64_t design_fp, const bmc::EngineConfig &cfg,
     h = mix64(h ^ static_cast<uint64_t>(cfg.validateWitnesses));
     h = mix64(h ^ static_cast<uint64_t>(static_cast<int64_t>(fixed_frame)));
     h = mix64(h ^ coi_fp);
+    // Static pruning changes which queries reach the solver (and, with
+    // COI narrowing, the instance shape), so pruned and unpruned runs
+    // must never share entries; the facts fingerprint covers the facts
+    // themselves (a refined fixpoint is a different pruning oracle).
+    h = mix64(h ^ static_cast<uint64_t>(cfg.staticPrune));
+    h = mix64(h ^ (cfg.staticPrune && cfg.staticFacts
+                       ? cfg.staticFacts->fingerprint
+                       : 0));
     h = mix64(h ^ prop::exprHash(seq, seed));
     // Assumes form a conjunction: order must not change the key.
     std::vector<uint64_t> ah;
@@ -80,6 +88,12 @@ makeQueryKeyBytes(uint64_t design_fp, const bmc::EngineConfig &cfg,
     s += std::to_string(fixed_frame);
     s.push_back('|');
     s += std::to_string(coi_fp);
+    s.push_back('|');
+    s += std::to_string(static_cast<int>(cfg.staticPrune));
+    s.push_back('|');
+    s += std::to_string(cfg.staticPrune && cfg.staticFacts
+                            ? cfg.staticFacts->fingerprint
+                            : 0);
     s.push_back('|');
     prop::serializeExpr(seq, &s);
     // Sorted, like the key's assume-hash multiset: conjunction order

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "exec/engine_pool.hh"
 
 namespace rmp::report
@@ -110,6 +111,71 @@ class JsonReport
     std::vector<std::pair<std::string, std::string>> kv;
 };
 
+/**
+ * Minimal insertion-ordered JSON array builder, the sequence analogue of
+ * JsonReport. Nest into an object with putRaw(arr.str()).
+ */
+class JsonArray
+{
+  public:
+    void add(uint64_t v) { items.push_back(std::to_string(v)); }
+    void
+    add(const std::string &v)
+    {
+        items.push_back("\"" + jsonEscape(v) + "\"");
+    }
+    /** Append a pre-rendered JSON value (nested object/array). */
+    void addRaw(const std::string &json) { items.push_back(json); }
+
+    size_t size() const { return items.size(); }
+
+    std::string
+    str() const
+    {
+        std::string out = "[";
+        for (size_t i = 0; i < items.size(); i++) {
+            if (i)
+                out += ", ";
+            out += items[i];
+        }
+        return out + "]";
+    }
+
+  private:
+    std::vector<std::string> items;
+};
+
+/**
+ * Render a lint/analyze diagnostics report as a JSON object. This is the
+ * ONE schema shared by `rmp lint --json`, `rmp analyze --json`, and
+ * analysis::LintReport::json (which delegates here): {design, cells,
+ * errors, warnings, diagnostics: [{rule, severity, cell, message}]},
+ * with cell = -1 for design-level findings.
+ */
+inline std::string
+diagnosticsJson(const Design &d, const analysis::LintReport &rep)
+{
+    JsonArray diags;
+    for (const analysis::Diagnostic &di : rep.diags) {
+        JsonReport e;
+        e.put("rule", std::string(analysis::ruleName(di.rule)));
+        e.put("severity", std::string(analysis::severityName(di.severity)));
+        e.putRaw("cell", di.sig == kNoSig
+                             ? "-1"
+                             : std::to_string(
+                                   static_cast<long long>(di.sig)));
+        e.put("message", di.message);
+        diags.addRaw(e.str());
+    }
+    JsonReport j;
+    j.put("design", d.name());
+    j.put("cells", static_cast<uint64_t>(d.numCells()));
+    j.put("errors", static_cast<uint64_t>(rep.errors()));
+    j.put("warnings", static_cast<uint64_t>(rep.warnings()));
+    j.putRaw("diagnostics", diags.str());
+    return j.str();
+}
+
 /** Render an engine pool's aggregate statistics as a JSON object. */
 inline std::string
 poolStatsJson(const exec::PoolStats &s)
@@ -119,6 +185,7 @@ poolStatsJson(const exec::PoolStats &s)
     j.put("reachable", s.engine.reachable);
     j.put("unreachable", s.engine.unreachable);
     j.put("undetermined", s.engine.undetermined);
+    j.put("static_pruned", s.engine.staticPruned);
     j.put("solver_seconds", s.engine.totalSeconds);
     j.put("cache_hits", s.cache.hits);
     j.put("cache_misses", s.cache.misses);

@@ -8,6 +8,7 @@
 #include <set>
 #include <cstdio>
 
+#include "analysis/fsmreach.hh"
 #include "common/logging.hh"
 #include "obs/progress.hh"
 #include "obs/registry.hh"
@@ -60,6 +61,18 @@ engineConfigFor(const designs::Harness &hx, const SynthesisConfig &config)
     ec.auditProof = config.auditProof;
     ec.compiledReplay = true;
     ec.simBackend = config.explore.backend;
+    if (config.staticPrune) {
+        ec.staticPrune = true;
+        // μFSM state variables are the control registers whose reachable
+        // sets sharpen the fixpoint (unreachable PL valuations are what
+        // the occupancy covers mostly ask about).
+        std::vector<SigId> ctrl;
+        for (const uhb::MicroFsm &fsm : hx.duv().fsms)
+            for (SigId v : fsm.vars)
+                ctrl.push_back(v);
+        ec.staticFacts = std::make_shared<const analysis::AbsFacts>(
+            analysis::staticFacts(hx.design(), ctrl));
+    }
     ec.witnessWatch.push_back(hx.iuvGone);
     for (uhb::PlId p = 0; p < hx.numPls(); p++) {
         const designs::PlSignals &ps = hx.plSig(p);

@@ -168,6 +168,8 @@ compileTape(const Design &d, const std::vector<SigId> &watch,
         fc->design = &d;
         fc->numCells = d.numCells();
         fc->hits = 0;
+        fc->kbApplied = false;
+        fc->kbFoldedCells = 0;
         fc->folded.assign(d.numCells(), 0);
         fc->cval.assign(d.numCells(), 0);
         for (SigId id = 0; id < d.numCells(); id++) {
@@ -189,8 +191,33 @@ compileTape(const Design &d, const std::vector<SigId> &watch,
             }
         }
     }
+    // Known-bits constantization (analysis::seedFoldCache): comb cells
+    // the absint fixpoint proved constant on every reachable cycle fold
+    // exactly like syntactic constants — BatchSim only ever executes
+    // runs from reset with free inputs, the trace set the facts cover.
+    const bool haveKb =
+        fc->kbDesign == &d && fc->kbConst.size() == d.numCells();
+    if (haveKb && !fc->kbApplied) {
+        fc->kbApplied = true;
+        fc->kbFoldedCells = 0;
+        for (SigId id = 0; id < d.numCells(); id++) {
+            if (!fc->kbConst[id] || fc->folded[id])
+                continue;
+            const Cell &c = d.cell(id);
+            rmp_assert(isCombOp(c.op) && c.op != Op::Const,
+                       "kb fold marked non-comb cell %u", id);
+            fc->folded[id] = 1;
+            fc->cval[id] = fc->kbVal[id];
+            fc->kbFoldedCells++;
+        }
+        if (obs::enabled())
+            obs::Registry::global()
+                .counter("sim.tape_kb_folded")
+                .add(fc->kbFoldedCells);
+    }
     const std::vector<uint8_t> &folded = fc->folded;
     const std::vector<uint64_t> &cval = fc->cval;
+    tp.kbFolded = haveKb ? fc->kbFoldedCells : 0;
     for (SigId id = 0; id < d.numCells(); id++)
         if (live[id] && folded[id] && d.cell(id).op != Op::Const)
             tp.constsFolded++;
@@ -386,6 +413,29 @@ compileTape(const Design &d, const std::vector<SigId> &watch,
             break;
           default:
             break;
+        }
+        // Known-bits mask narrowing: rewrites the syntactic rules above
+        // cannot see. An And whose constant mask already covers every
+        // possibly-one bit of the other operand is the identity on it,
+        // and a low Slice that provably drops only zero bits is too.
+        if (alias == kNoSlot && haveKb) {
+            const std::vector<uint64_t> &poss = fc->kbPossible;
+            switch (c.op) {
+              case Op::And:
+                if (cb && (poss[c.args[0]] & ~cbV) == 0 && fits(0))
+                    alias = sa;
+                else if (ca && (poss[c.args[1]] & ~caV) == 0 && fits(1))
+                    alias = sb;
+                break;
+              case Op::Slice:
+                if (c.aux0 == 0 && (poss[c.args[0]] & ~mask) == 0)
+                    alias = sa;
+                break;
+              default:
+                break;
+            }
+            if (alias != kNoSlot)
+                tp.kbAliased++;
         }
         if (alias != kNoSlot) {
             tp.slotOf[id] = alias;

@@ -135,8 +135,12 @@ struct Tape
     uint32_t cellsTotal = 0;
     uint32_t cellsPruned = 0;
     uint32_t constsFolded = 0;
+    /** Of constsFolded, cells only known-bits facts could constantize. */
+    uint32_t kbFolded = 0;
     /** Cells elided by identity / absorption / CSE slot aliasing. */
     uint32_t cellsAliased = 0;
+    /** Of cellsAliased, rewrites enabled by known-bits mask narrowing. */
+    uint32_t kbAliased = 0;
     /** Distinct pooled constant slots (the `sim.tape_consts` metric:
      *  every folded cell and absorption rewrite shares one of these). */
     uint32_t constsPooled = 0;
@@ -167,6 +171,31 @@ struct FoldCache
     std::vector<uint64_t> cval;
     /** Number of compiles served from this cache (test observability). */
     uint32_t hits = 0;
+
+    /**
+     * @name Optional known-bits facts (analysis::seedFoldCache)
+     *
+     * Semantic constants beyond syntactic folding: kbConst[id] marks a
+     * comb cell proven constant kbVal[id] on every cycle of every run
+     * from reset — the only runs BatchSim ever executes — and
+     * kbPossible[id] is the cell's possibly-one bit mask, which the
+     * compiler's alias rules use to narrow redundant masking. Empty
+     * (size 0) when no facts were seeded; sized numCells otherwise.
+     * Registers and inputs are never marked (their slots are written
+     * externally).
+     */
+    /// @{
+    /** Design the kb facts were derived from (seed-time stamp; facts
+     *  are ignored unless it matches the compiled design). */
+    const Design *kbDesign = nullptr;
+    std::vector<uint8_t> kbConst;
+    std::vector<uint64_t> kbVal;
+    std::vector<uint64_t> kbPossible;
+    /** kb facts already merged into folded/cval (once per cache). */
+    bool kbApplied = false;
+    /** Cells constantized by kb facts alone (not syntactically). */
+    uint32_t kbFoldedCells = 0;
+    /// @}
 };
 
 /**

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/fsmreach.hh"
 #include "common/logging.hh"
 #include "obs/progress.hh"
 #include "obs/registry.hh"
@@ -73,7 +74,8 @@ buildFsmTaintWires(const designs::Harness &hx, const ift::Instrumented &inst)
  *  outcomes — so compiled witness validation needs no extra watch
  *  signals beyond the queries' own supports. */
 bmc::EngineConfig
-engineConfigFor(const designs::Harness &hx, const SynthLcConfig &config)
+engineConfigFor(const designs::Harness &hx, const ift::Instrumented &inst,
+                const SynthLcConfig &config)
 {
     bmc::EngineConfig ec;
     ec.bound = config.bound ? config.bound : hx.duv().completenessBound;
@@ -84,6 +86,18 @@ engineConfigFor(const designs::Harness &hx, const SynthLcConfig &config)
     ec.auditProof = config.auditProof;
     ec.compiledReplay = true;
     ec.simBackend = config.simBackend;
+    if (config.staticPrune) {
+        ec.staticPrune = true;
+        // Facts are over the instrumented design (the one the pool's
+        // engines unroll); instrumentation appends taint cells without
+        // renumbering, so the harness's μFSM SigIds remain valid.
+        std::vector<SigId> ctrl;
+        for (const uhb::MicroFsm &fsm : hx.duv().fsms)
+            for (SigId v : fsm.vars)
+                ctrl.push_back(v);
+        ec.staticFacts = std::make_shared<const analysis::AbsFacts>(
+            analysis::staticFacts(*inst.design, ctrl));
+    }
     return ec;
 }
 
@@ -93,7 +107,7 @@ SynthLc::SynthLc(const designs::Harness &harness, const SynthLcConfig &config)
     : hx(harness), cfg(config),
       inst(ift::instrument(hx.design(), iftConfigFor(harness))),
       fsmTaint(buildFsmTaintWires(harness, inst)),
-      pool_(*inst.design, engineConfigFor(harness, config),
+      pool_(*inst.design, engineConfigFor(harness, inst, config),
             exec::ExecConfig{config.jobs, config.lanes}),
       base(hx.baseAssumes())
 {

@@ -14,6 +14,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/fsmreach.hh"
 #include "analysis/lint.hh"
 #include "contracts/contracts.hh"
 #include "designs/dcache.hh"
@@ -52,6 +53,9 @@ usage(std::FILE *f)
         "  contracts <duv>           end-to-end contract synthesis\n"
         "  bugs      <duv>           DUV PL reachability summary\n"
         "  lint      <duv>|all       netlist + IFT soundness lint\n"
+        "  analyze   <duv>|all       abstract interpretation report:\n"
+        "                            known bits, FSM reachable states,\n"
+        "                            and the full lint diagnostics\n"
         "  help                      print this message\n"
         "\n"
         "DUVs: tiny3 tiny3-zs mcva mcva-mul mcva-op mcva-fixed"
@@ -81,6 +85,10 @@ usage(std::FILE *f)
         "  --sim-interp   shorthand for --sim-backend interp\n"
         "  --coi          unroll only each query's sequential cone of\n"
         "                 influence (verdicts unchanged; prints COI stats)\n"
+        "  --static-prune / --no-static-prune\n"
+        "                 discharge covers the absint fixpoint proves\n"
+        "                 false without a solver call (default: on;\n"
+        "                 verdicts identical either way)\n"
         "  --check-verdicts[=replay|proof|all]\n"
         "                 trust-but-verify every BMC verdict (default:"
         " all):\n"
@@ -152,6 +160,7 @@ struct CliOptions
     bool closure = false;
     bool counts = false;
     bool coi = false;
+    bool staticPrune = true;
     bool checkReplay = false;
     bool checkProof = false;
     bool json = false;
@@ -188,6 +197,10 @@ parseOptions(int argc, char **argv, int first)
             o.counts = true;
         else if (a == "--coi")
             o.coi = true;
+        else if (a == "--static-prune")
+            o.staticPrune = true;
+        else if (a == "--no-static-prune")
+            o.staticPrune = false;
         else if (a == "--check-verdicts" ||
                  a.rfind("--check-verdicts=", 0) == 0) {
             std::string mode =
@@ -268,6 +281,7 @@ synthConfig(const CliOptions &o)
     c.revisitCounts = o.counts;
     c.jobs = o.jobs;
     c.coiPruning = o.coi;
+    c.staticPrune = o.staticPrune;
     c.auditReplay = o.checkReplay;
     c.auditProof = o.checkProof;
     c.explore.engine = o.simInterp ? r2m::SimEngine::Interpreted
@@ -408,6 +422,7 @@ cmdLeakage(const std::string &duv, const std::string &instr,
     slc::SynthLcConfig lc;
     lc.budget.maxConflicts = o.budget;
     lc.jobs = o.jobs;
+    lc.staticPrune = o.staticPrune;
     lc.auditReplay = o.checkReplay;
     lc.auditProof = o.checkProof;
     lc.simBackend = o.simBackend;
@@ -441,6 +456,7 @@ cmdContracts(const std::string &duv, const CliOptions &o)
     slc::SynthLcConfig lc;
     lc.budget.maxConflicts = o.budget;
     lc.jobs = o.jobs;
+    lc.staticPrune = o.staticPrune;
     lc.auditReplay = o.checkReplay;
     lc.auditProof = o.checkProof;
     lc.simBackend = o.simBackend;
@@ -494,37 +510,61 @@ cmdBugs(const std::string &duv, const CliOptions &o)
     return 0;
 }
 
+std::vector<std::string>
+duvNames(const std::string &duv)
+{
+    if (duv == "all")
+        return {"tiny3",      "tiny3-zs",   "mcva",        "mcva-mul",
+                "mcva-op",    "mcva-fixed", "mcva-scbbug", "dcache"};
+    return {duv};
+}
+
+/** The μFSM state variables — the control registers every absint
+ *  consumer (pruning, lint, analyze) sharpens with fsmReachability. */
+std::vector<SigId>
+controlRegsOf(const Harness &hx)
+{
+    std::vector<SigId> ctrl;
+    for (const uhb::MicroFsm &fsm : hx.duv().fsms)
+        for (SigId v : fsm.vars)
+            ctrl.push_back(v);
+    return ctrl;
+}
+
+/** Append the IFT soundness lint (over the same instrumentation SynthLC
+ *  uses) to @p rep, when the DUV declares operand registers. */
+void
+appendIftLint(const Harness &hx, analysis::LintReport *rep)
+{
+    const uhb::DuvInfo &info = hx.duv();
+    if (info.rs1Reg == kNoSig || info.rs2Reg == kNoSig)
+        return;
+    ift::IftConfig icfg;
+    icfg.taintSources = {info.rs1Reg, info.rs2Reg};
+    icfg.blockRegs = info.arfRegs;
+    icfg.blockRegs.insert(icfg.blockRegs.end(), info.amemRegs.begin(),
+                          info.amemRegs.end());
+    icfg.persistentRegs = info.persistentRegs;
+    icfg.txmGone = hx.txmGone;
+    ift::Instrumented inst = ift::instrument(hx.design(), icfg);
+    analysis::LintReport irep = analysis::lintIft(hx.design(), inst);
+    rep->diags.insert(rep->diags.end(), irep.diags.begin(),
+                      irep.diags.end());
+}
+
 int
 cmdLint(const std::string &duv, const CliOptions &o)
 {
-    std::vector<std::string> names;
-    if (duv == "all")
-        names = {"tiny3",      "tiny3-zs",  "mcva",        "mcva-mul",
-                 "mcva-op",    "mcva-fixed", "mcva-scbbug", "dcache"};
-    else
-        names.push_back(duv);
+    std::vector<std::string> names = duvNames(duv);
     size_t errors = 0;
     if (o.json)
         std::printf("[");
     for (size_t i = 0; i < names.size(); i++) {
         Harness hx(buildByName(names[i]));
-        analysis::LintReport rep = analysis::lint(hx.design());
-        // IFT soundness lint over the same instrumentation SynthLC uses.
-        const uhb::DuvInfo &info = hx.duv();
-        if (info.rs1Reg != kNoSig && info.rs2Reg != kNoSig) {
-            ift::IftConfig icfg;
-            icfg.taintSources = {info.rs1Reg, info.rs2Reg};
-            icfg.blockRegs = info.arfRegs;
-            icfg.blockRegs.insert(icfg.blockRegs.end(),
-                                  info.amemRegs.begin(),
-                                  info.amemRegs.end());
-            icfg.persistentRegs = info.persistentRegs;
-            icfg.txmGone = hx.txmGone;
-            ift::Instrumented inst = ift::instrument(hx.design(), icfg);
-            analysis::LintReport irep = analysis::lintIft(hx.design(), inst);
-            rep.diags.insert(rep.diags.end(), irep.diags.begin(),
-                             irep.diags.end());
-        }
+        analysis::LintConfig lcfg;
+        lcfg.controlRegs = controlRegsOf(hx);
+        analysis::LintReport rep = analysis::lint(hx.design(), lcfg);
+        appendIftLint(hx, &rep);
         errors += rep.errors();
         if (o.json)
             std::printf("%s%s", i ? ",\n " : "",
@@ -532,6 +572,89 @@ cmdLint(const std::string &duv, const CliOptions &o)
         else
             std::printf("%s%s", i ? "\n" : "",
                         rep.render(hx.design()).c_str());
+    }
+    if (o.json)
+        std::printf("]\n");
+    return errors ? 1 : 0;
+}
+
+int
+cmdAnalyze(const std::string &duv, const CliOptions &o)
+{
+    std::vector<std::string> names = duvNames(duv);
+    size_t errors = 0;
+    if (o.json)
+        std::printf("[");
+    for (size_t i = 0; i < names.size(); i++) {
+        Harness hx(buildByName(names[i]));
+        const Design &d = hx.design();
+        std::vector<SigId> ctrl = controlRegsOf(hx);
+
+        // The same fact set the synthesizer prunes with: global fixpoint
+        // sharpened by FSM successor enumeration on the control regs.
+        analysis::AbsFacts facts = analysis::absInterpret(d);
+        std::vector<analysis::FsmReachResult> reach =
+            analysis::fsmReachability(d, ctrl, facts);
+
+        // reg -> "fsm.var" label for the report.
+        std::vector<std::string> regLabel(d.numCells());
+        for (const uhb::MicroFsm &fsm : hx.duv().fsms)
+            for (size_t v = 0; v < fsm.vars.size(); v++)
+                regLabel[fsm.vars[v]] =
+                    fsm.name +
+                    (fsm.vars.size() > 1 ? "." + std::to_string(v) : "");
+
+        analysis::LintConfig lcfg;
+        lcfg.controlRegs = ctrl;
+        analysis::LintReport rep = analysis::lint(d, lcfg);
+        appendIftLint(hx, &rep);
+        errors += rep.errors();
+
+        if (o.json) {
+            report::JsonReport j;
+            j.put("design", d.name());
+            j.put("cells", static_cast<uint64_t>(d.numCells()));
+            j.put("bits_known", facts.bitsKnown);
+            j.put("bits_total", facts.bitsTotal);
+            j.put("fixpoint_iters",
+                  static_cast<uint64_t>(facts.fixpointIters));
+            report::JsonArray fsms;
+            for (const analysis::FsmReachResult &r : reach) {
+                report::JsonReport e;
+                e.put("fsm", regLabel[r.reg]);
+                e.put("reg", static_cast<uint64_t>(r.reg));
+                e.putRaw("exact", r.exact ? "true" : "false");
+                report::JsonArray states;
+                for (uint64_t s : r.states)
+                    states.add(s);
+                e.putRaw("states", states.str());
+                fsms.addRaw(e.str());
+            }
+            j.putRaw("fsm_regs", fsms.str());
+            j.putRaw("lint", report::diagnosticsJson(d, rep));
+            std::printf("%s%s", i ? ",\n " : "", j.str().c_str());
+            continue;
+        }
+
+        double pct = facts.bitsTotal
+                         ? 100.0 * static_cast<double>(facts.bitsKnown) /
+                               static_cast<double>(facts.bitsTotal)
+                         : 0.0;
+        std::printf("%s%s: %zu cells, %llu/%llu bits known (%.1f%%), "
+                    "%u fixpoint iteration(s)\n",
+                    i ? "\n" : "", d.name().c_str(), d.numCells(),
+                    static_cast<unsigned long long>(facts.bitsKnown),
+                    static_cast<unsigned long long>(facts.bitsTotal), pct,
+                    facts.fixpointIters);
+        for (const analysis::FsmReachResult &r : reach) {
+            std::string vals;
+            for (size_t s = 0; s < r.states.size(); s++)
+                vals += (s ? "," : "") + std::to_string(r.states[s]);
+            std::printf("  %-12s cell %-4u %zu reachable state(s) {%s}%s\n",
+                        regLabel[r.reg].c_str(), r.reg, r.states.size(),
+                        vals.c_str(), r.exact ? "" : " [inexact]");
+        }
+        std::printf("%s", rep.render(d).c_str());
     }
     if (o.json)
         std::printf("]\n");
@@ -561,7 +684,7 @@ main(int argc, char **argv)
     if (cmd == "upaths" || cmd == "leakage")
         npos = 2;
     else if (cmd == "synth" || cmd == "prove" || cmd == "contracts" ||
-             cmd == "bugs" || cmd == "lint")
+             cmd == "bugs" || cmd == "lint" || cmd == "analyze")
         npos = 1;
     else
         usageError("unknown command '%s'", cmd.c_str());
@@ -595,6 +718,8 @@ main(int argc, char **argv)
         rc = cmdContracts(argv[2], o);
     else if (cmd == "bugs")
         rc = cmdBugs(argv[2], o);
+    else if (cmd == "analyze")
+        rc = cmdAnalyze(argv[2], o);
     else
         rc = cmdLint(argv[2], o);
     double wall =
